@@ -1,0 +1,41 @@
+// torchgt-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	torchgt-bench -exp table5            # one experiment, full scale
+//	torchgt-bench -exp all -scale smoke  # everything, fast
+//	torchgt-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"torchgt"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	scale := flag.String("scale", "full", "smoke | full")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range torchgt.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	full := *scale != "smoke"
+	var err error
+	if *exp == "all" {
+		err = torchgt.RunAllExperiments(os.Stdout, full)
+	} else {
+		err = torchgt.RunExperiment(*exp, os.Stdout, full)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "torchgt-bench:", err)
+		os.Exit(1)
+	}
+}

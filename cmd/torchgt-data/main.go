@@ -1,0 +1,77 @@
+// torchgt-data generates and inspects the synthetic datasets that stand in
+// for the paper's benchmark suites (Table III).
+//
+// Usage:
+//
+//	torchgt-data -list
+//	torchgt-data -dataset products-sim -nodes 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"torchgt"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "dataset to generate/inspect")
+	nodes := flag.Int("nodes", 0, "node count override for node-level datasets")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list datasets and exit")
+	flag.Parse()
+
+	if *list || *dataset == "" {
+		fmt.Println("node-level:")
+		for _, n := range torchgt.NodeDatasetNames() {
+			fmt.Println("  ", n)
+		}
+		fmt.Println("graph-level:")
+		for _, n := range torchgt.GraphDatasetNames() {
+			fmt.Println("  ", n)
+		}
+		return
+	}
+	for _, n := range torchgt.GraphDatasetNames() {
+		if n == *dataset {
+			ds, err := torchgt.LoadGraphDataset(*dataset, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			var nodesTot, edgesTot int
+			for _, g := range ds.Graphs {
+				nodesTot += g.N
+				edgesTot += g.NumEdges()
+			}
+			fmt.Printf("dataset %s: %d graphs, task %s, %d classes, feat dim %d\n",
+				ds.Name, len(ds.Graphs), ds.Task, ds.NumClasses, ds.FeatDim)
+			fmt.Printf("avg nodes %.1f, avg edges %.1f\n",
+				float64(nodesTot)/float64(len(ds.Graphs)), float64(edgesTot)/float64(len(ds.Graphs)))
+			return
+		}
+	}
+	ds, err := torchgt.LoadNodeDataset(*dataset, *nodes, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	g := ds.G
+	fmt.Printf("dataset %s: %d nodes, %d edges, %d classes, feat dim %d\n",
+		ds.Name, g.N, g.NumEdges(), ds.NumClasses, ds.X.Cols)
+	fmt.Printf("sparsity β_G = %.6f, avg degree %.2f, max degree %d, connected: %v\n",
+		g.Sparsity(), g.AvgDegree(), g.MaxDegree(), g.IsConnected())
+	train, val, test := 0, 0, 0
+	for i := range ds.Y {
+		switch {
+		case ds.TrainMask[i]:
+			train++
+		case ds.ValMask[i]:
+			val++
+		case ds.TestMask[i]:
+			test++
+		}
+	}
+	fmt.Printf("splits: train %d / val %d / test %d\n", train, val, test)
+}

@@ -1,0 +1,40 @@
+// Distributed example: Cluster-aware Graph Parallelism across 4 simulated
+// workers (goroutines exchanging tensors through channel collectives). Each
+// layer reshards sequence↔heads with two all-to-alls, attention runs over
+// the full gathered sequence per local head, and weight gradients are
+// all-reduced — a numerically real implementation of the paper's §III-C.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"torchgt"
+)
+
+func main() {
+	const workers = 4
+	ds, err := torchgt.LoadNodeDataset("arxiv-sim", 1024, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := torchgt.GraphormerSlim(ds.X.Cols, ds.NumClasses, 7)
+	cfg.Dropout = 0 // the distributed runner is dropout-free
+
+	trainer := torchgt.NewDistTrainer(workers, cfg, 2e-3)
+	in := torchgt.NodeInputs(ds)
+	spec := torchgt.SparseNodeSpec(ds)
+
+	fmt.Printf("training on %d workers, S=%d, %d heads (%d per worker)\n",
+		workers, ds.G.N, cfg.Heads, cfg.Heads/workers)
+	for step := 0; step < 10; step++ {
+		loss := trainer.Step(in, spec, ds.Y, ds.TrainMask)
+		fmt.Printf("step %2d  loss %.4f  comm so far %.1f MB\n",
+			step, loss, float64(trainer.Comm.TotalBytes())/(1<<20))
+	}
+
+	// per-worker communication: the Ulysses all-to-all volume is O(S·d/P)
+	for r := 0; r < workers; r++ {
+		fmt.Printf("rank %d sent %.1f MB\n", r, float64(trainer.Comm.BytesSent(r))/(1<<20))
+	}
+}

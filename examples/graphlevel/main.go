@@ -1,0 +1,43 @@
+// Graph-level example: ZINC-style molecular property regression with the GT
+// model (Laplacian positional encodings + SPD bias) and malnet-sim
+// classification with Graphormer — the two graph-level task families of the
+// paper's Table III.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"torchgt"
+)
+
+func main() {
+	// --- regression: zinc-sim ---
+	zinc, err := torchgt.LoadGraphDataset("zinc-sim", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("zinc-sim: %d molecule-like graphs (regression)\n", len(zinc.Graphs))
+	cfg := torchgt.GT(zinc.FeatDim, 1, 2)
+	_, mae, err := torchgt.TrainGraphLevel(torchgt.MethodTorchGT, cfg, zinc,
+		torchgt.TrainOptions{Epochs: 8, BatchSize: 8, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GT on zinc-sim: test MAE %.4f\n\n", mae)
+
+	// --- classification: molpcba-sim ---
+	mol, err := torchgt.LoadGraphDataset("molpcba-sim", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("molpcba-sim: %d graphs, %d classes\n", len(mol.Graphs), mol.NumClasses)
+	cfg2 := torchgt.GraphormerSlim(mol.FeatDim, mol.NumClasses, 5)
+	res, _, err := torchgt.TrainGraphLevel(torchgt.MethodTorchGT, cfg2, mol,
+		torchgt.TrainOptions{Epochs: 6, BatchSize: 8, Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Graphormer on molpcba-sim: test accuracy %.2f%% (preprocess %.2fs)\n",
+		res.FinalTestAcc*100, res.PreprocessTime.Seconds())
+}

@@ -1,0 +1,39 @@
+// Quickstart: train Graphormer-Slim on the arxiv-sim dataset with the full
+// TorchGT pipeline (cluster reorder → dual-interleaved attention → elastic
+// reformation with Auto Tuner) and compare it against the GP-Flash baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"torchgt"
+)
+
+func main() {
+	ds, err := torchgt.LoadNodeDataset("arxiv-sim", 1024, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d nodes, %d edges, %d classes\n",
+		ds.Name, ds.G.N, ds.G.NumEdges(), ds.NumClasses)
+
+	cfg := torchgt.GraphormerSlim(ds.X.Cols, ds.NumClasses, 1)
+	opts := torchgt.TrainOptions{Epochs: 15, Seed: 2}
+
+	tgt, err := torchgt.TrainNode(torchgt.MethodTorchGT, cfg, ds, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flash, err := torchgt.TrainNode(torchgt.MethodGPFlash, cfg, ds, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-10s %-12s %-12s %-14s\n", "method", "test acc", "avg epoch", "attended pairs")
+	for _, r := range []*torchgt.Result{tgt, flash} {
+		fmt.Printf("%-10s %-12.4f %-12s %-14d\n", r.Method, r.FinalTestAcc, r.AvgEpochTime, r.TotalPairs)
+	}
+	fmt.Printf("\nTorchGT attended %.1fx fewer pairs than GP-Flash at comparable accuracy.\n",
+		float64(flash.TotalPairs)/float64(tgt.TotalPairs))
+}

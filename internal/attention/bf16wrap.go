@@ -1,0 +1,34 @@
+package attention
+
+import "torchgt/internal/tensor"
+
+// BF16Wrap emulates running any inner kernel with bfloat16 tensor storage:
+// Q, K, V are rounded to BF16 precision on the way in and the output on the
+// way out (accumulation stays FP32, matching mixed-precision hardware).
+// Used for the Table VII TorchGT-BF16 configuration.
+type BF16Wrap struct {
+	Inner Kernel
+}
+
+// Name implements Kernel.
+func (w *BF16Wrap) Name() string { return w.Inner.Name() + "-bf16" }
+
+// Pairs implements Kernel.
+func (w *BF16Wrap) Pairs() int64 { return w.Inner.Pairs() }
+
+// Forward implements Kernel.
+func (w *BF16Wrap) Forward(q, k, v *tensor.Mat) *tensor.Mat {
+	q, k, v = q.Clone(), k.Clone(), v.Clone()
+	tensor.RoundBF16Mat(q)
+	tensor.RoundBF16Mat(k)
+	tensor.RoundBF16Mat(v)
+	o := w.Inner.Forward(q, k, v)
+	tensor.RoundBF16Mat(o)
+	return o
+}
+
+// Backward implements Kernel (gradients stay FP32, as in mixed-precision
+// training with FP32 master weights).
+func (w *BF16Wrap) Backward(dO *tensor.Mat) (dq, dk, dv *tensor.Mat) {
+	return w.Inner.Backward(dO)
+}

@@ -1,0 +1,167 @@
+package attention
+
+import (
+	"math"
+
+	"torchgt/internal/tensor"
+)
+
+// Flash is tiled attention with online (streaming) softmax: compute is still
+// O(S²) but the S×S score matrix is never materialised — extra memory is
+// O(S). This reproduces the two properties of FlashAttention the paper
+// relies on: it rescues GP-Raw's memory wall but not its compute wall
+// (Fig. 2), and in BF16 mode it loses accuracy (Table VII). Like the real
+// library, it does not support additive bias encodings.
+type Flash struct {
+	// Tile is the column tile width (default 64).
+	Tile int
+	// BF16 emulates bfloat16 storage of Q/K/V and O (FP32 accumulation).
+	BF16 bool
+
+	q, k, v *tensor.Mat
+	o       *tensor.Mat
+	lse     []float32 // per-row logsumexp of scaled scores
+	pairs   int64
+}
+
+// NewFlash constructs the kernel with the default tile size.
+func NewFlash(bf16 bool) *Flash { return &Flash{Tile: 64, BF16: bf16} }
+
+// Name implements Kernel.
+func (f *Flash) Name() string {
+	if f.BF16 {
+		return "flash-bf16"
+	}
+	return "flash"
+}
+
+// Pairs implements Kernel.
+func (f *Flash) Pairs() int64 { return f.pairs }
+
+// Forward implements Kernel.
+func (f *Flash) Forward(q, k, v *tensor.Mat) *tensor.Mat {
+	checkQKV(q, k, v)
+	if f.BF16 {
+		q, k, v = q.Clone(), k.Clone(), v.Clone()
+		tensor.RoundBF16Mat(q)
+		tensor.RoundBF16Mat(k)
+		tensor.RoundBF16Mat(v)
+	}
+	f.q, f.k, f.v = q, k, v
+	s := q.Rows
+	dv := v.Cols
+	f.pairs = int64(s) * int64(s)
+	scale := scaleFor(q.Cols)
+	o := tensor.New(s, dv)
+	f.lse = make([]float32, s)
+	tile := f.Tile
+	if tile < 1 {
+		tile = 64
+	}
+	tensor.ParallelFor(s, func(lo, hi int) {
+		scores := make([]float32, tile)
+		acc := make([]float32, dv)
+		for i := lo; i < hi; i++ {
+			qi := q.Row(i)
+			m := float32(math.Inf(-1))
+			l := float32(0)
+			for x := range acc {
+				acc[x] = 0
+			}
+			for j0 := 0; j0 < s; j0 += tile {
+				j1 := j0 + tile
+				if j1 > s {
+					j1 = s
+				}
+				// tile scores
+				tileMax := float32(math.Inf(-1))
+				for j := j0; j < j1; j++ {
+					sc := tensor.Dot(qi, k.Row(j)) * scale
+					scores[j-j0] = sc
+					if sc > tileMax {
+						tileMax = sc
+					}
+				}
+				newM := m
+				if tileMax > newM {
+					newM = tileMax
+				}
+				// rescale running state
+				corr := float32(math.Exp(float64(m - newM)))
+				l *= corr
+				for x := range acc {
+					acc[x] *= corr
+				}
+				for j := j0; j < j1; j++ {
+					p := float32(math.Exp(float64(scores[j-j0] - newM)))
+					l += p
+					tensor.Axpy(p, v.Row(j), acc)
+				}
+				m = newM
+			}
+			inv := 1 / l
+			oi := o.Row(i)
+			for x := range acc {
+				oi[x] = acc[x] * inv
+			}
+			f.lse[i] = m + float32(math.Log(float64(l)))
+		}
+	})
+	if f.BF16 {
+		tensor.RoundBF16Mat(o)
+	}
+	f.o = o
+	return o
+}
+
+// Backward implements Kernel using the FlashAttention recompute strategy:
+// probabilities are regenerated per tile from the cached logsumexp instead of
+// being stored. Row pass computes dQ; column pass computes dK and dV (both
+// embarrassingly parallel without write races).
+func (f *Flash) Backward(dO *tensor.Mat) (dq, dk, dv *tensor.Mat) {
+	q, k, v := f.q, f.k, f.v
+	s := q.Rows
+	scale := scaleFor(q.Cols)
+	// D_i = dO_i · O_i
+	d := make([]float32, s)
+	for i := 0; i < s; i++ {
+		d[i] = tensor.Dot(dO.Row(i), f.o.Row(i))
+	}
+	dq = tensor.New(s, q.Cols)
+	dk = tensor.New(s, k.Cols)
+	dv = tensor.New(s, v.Cols)
+	// row pass: dq_i = Σ_j ds_ij * k_j * scale
+	tensor.ParallelFor(s, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			qi := q.Row(i)
+			dOi := dO.Row(i)
+			dqi := dq.Row(i)
+			for j := 0; j < s; j++ {
+				kj := k.Row(j)
+				p := float32(math.Exp(float64(tensor.Dot(qi, kj)*scale - f.lse[i])))
+				dp := tensor.Dot(dOi, v.Row(j))
+				ds := p * (dp - d[i])
+				tensor.Axpy(ds*scale, kj, dqi)
+			}
+		}
+	})
+	// column pass: dk_j, dv_j
+	tensor.ParallelFor(s, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			kj := k.Row(j)
+			vj := v.Row(j)
+			dkj := dk.Row(j)
+			dvj := dv.Row(j)
+			for i := 0; i < s; i++ {
+				qi := q.Row(i)
+				dOi := dO.Row(i)
+				p := float32(math.Exp(float64(tensor.Dot(qi, kj)*scale - f.lse[i])))
+				dp := tensor.Dot(dOi, vj)
+				ds := p * (dp - d[i])
+				tensor.Axpy(ds*scale, qi, dkj)
+				tensor.Axpy(p, dOi, dvj)
+			}
+		}
+	})
+	return dq, dk, dv
+}

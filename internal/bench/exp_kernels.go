@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"torchgt/internal/attention"
+	"torchgt/internal/dist"
+	"torchgt/internal/graph"
+	"torchgt/internal/partition"
+	"torchgt/internal/sparse"
+	"torchgt/internal/tensor"
+)
+
+func init() {
+	register(&Experiment{ID: "fig2", Title: "Iteration time breakdown: attention dominates (Fig. 2)", Run: runFig2})
+	register(&Experiment{ID: "table2", Title: "Irregular topology-pattern cost vs dense (Table II)", Run: runTable2})
+	register(&Experiment{ID: "fig12", Title: "Attention kernel time vs S and hidden dim (Fig. 12)", Run: runFig12})
+	register(&Experiment{ID: "fig5", Title: "Attention layouts: raw / clustered / cluster-sparse (Fig. 5)", Run: runFig5})
+}
+
+// kernelQKV builds random projections for a kernel timing run.
+func kernelQKV(s, d int, seed int64) (q, k, v *tensor.Mat) {
+	rng := rand.New(rand.NewSource(seed))
+	q, k, v = tensor.New(s, d), tensor.New(s, d), tensor.New(s, d)
+	tensor.RandN(q, rng, 0.5)
+	tensor.RandN(k, rng, 0.5)
+	tensor.RandN(v, rng, 0.5)
+	return
+}
+
+// timeKernel measures forward+backward wall time of one kernel.
+func timeKernel(kr attention.Kernel, q, k, v *tensor.Mat) time.Duration {
+	t0 := time.Now()
+	o := kr.Forward(q, k, v)
+	dO := o.Clone()
+	kr.Backward(dO)
+	return time.Since(t0)
+}
+
+// runFig2 measures the share of iteration time spent in (flash) attention
+// at increasing S, and the simulated 3090/A100 iteration split.
+func runFig2(w io.Writer, scale Scale) error {
+	sweep := []int{1024, 2048, 4096}
+	if scale == ScaleSmoke {
+		sweep = []int{256, 512}
+	}
+	d := 64
+	shape := dist.ModelShape{Layers: 4, Hidden: d, Heads: 8, FFNHidden: 4 * d}
+	tb := &table{header: []string{"S", "attn(ms)", "other(ms)", "attn share", "paper-S", "sim-3090 share", "sim-A100 share"}}
+	for _, s := range sweep {
+		q, k, v := kernelQKV(s, d/8, int64(s))
+		attnPerHead := timeKernel(attention.NewFlash(false), q, k, v)
+		attnTotal := time.Duration(int64(attnPerHead) * int64(shape.Heads) * int64(shape.Layers))
+		// "other" ≈ the FFN+projection matmuls measured directly
+		other := timeFFN(s, shape)
+		share := float64(attnTotal) / float64(attnTotal+other)
+		// the simulated share is evaluated at the paper's sequence lengths
+		// (32K–256K), where the fixed per-step overhead no longer dominates
+		paperS := s * 32
+		simShare := func(hw dist.HardwareProfile) float64 {
+			pm := &dist.PerfModel{HW: hw}
+			c := pm.StepTime(dist.KindDense, int64(paperS)*int64(paperS), paperS, shape, 8)
+			return float64(c.Attn) / float64(c.Total)
+		}
+		tb.addRow(fmt.Sprint(s),
+			fmt.Sprint(attnTotal.Milliseconds()), fmt.Sprint(other.Milliseconds()),
+			pct(share), fmt.Sprint(paperS), pct(simShare(dist.RTX3090)), pct(simShare(dist.A100)))
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "expected shape: attention share grows with S and dominates (>80% at the top of the sweep)")
+	return nil
+}
+
+// timeFFN measures the non-attention matmuls of one iteration.
+func timeFFN(s int, shape dist.ModelShape) time.Duration {
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.New(s, shape.Hidden)
+	tensor.RandN(x, rng, 0.5)
+	w1 := tensor.New(shape.Hidden, shape.FFNHidden)
+	w2 := tensor.New(shape.FFNHidden, shape.Hidden)
+	wq := tensor.New(shape.Hidden, shape.Hidden)
+	tensor.RandN(w1, rng, 0.1)
+	tensor.RandN(w2, rng, 0.1)
+	tensor.RandN(wq, rng, 0.1)
+	t0 := time.Now()
+	for l := 0; l < shape.Layers; l++ {
+		h := tensor.New(s, shape.FFNHidden)
+		tensor.MatMul(h, x, w1)
+		o := tensor.New(s, shape.Hidden)
+		tensor.MatMul(o, h, w2)
+		for p := 0; p < 4; p++ { // QKV+O projections
+			tensor.MatMul(o, x, wq)
+		}
+	}
+	// backward ≈ 2× forward
+	return time.Since(t0) * 3
+}
+
+// runTable2 compares the per-pair backward cost of the raw topology pattern
+// against dense attention, plus the simulated GPU wall-clock at paper-scale
+// sequence lengths.
+func runTable2(w io.Writer, scale Scale) error {
+	sweep := []int{1024, 2048, 4096}
+	if scale == ScaleSmoke {
+		sweep = []int{512, 1024}
+	}
+	d := 8 // per-head dim of GPH-Slim
+	tb := &table{header: []string{"S", "dense bw ns/pair", "topo bw ns/pair", "ratio", "sim-3090 topo/dense"}}
+	for _, s := range sweep {
+		rng := rand.New(rand.NewSource(int64(s)))
+		g := graph.BarabasiAlbert(s, 8, rng)
+		g = g.Permute(graph.ShuffledIDs(s, rng)) // unordered → irregular access
+		p := sparse.FromGraph(g)
+		q, k, v := kernelQKV(s, d, int64(s)+1)
+
+		dense := attention.NewDense()
+		o := dense.Forward(q, k, v)
+		t0 := time.Now()
+		dense.Backward(o)
+		denseBW := time.Since(t0)
+
+		sp := attention.NewSparse(p)
+		o2 := sp.Forward(q, k, v)
+		t0 = time.Now()
+		sp.Backward(o2)
+		topoBW := time.Since(t0)
+
+		densePP := float64(denseBW.Nanoseconds()) / float64(s) / float64(s)
+		topoPP := float64(topoBW.Nanoseconds()) / float64(p.NNZ())
+		pm := &dist.PerfModel{HW: dist.RTX3090}
+		simRatio := (float64(p.NNZ()) * pm.HW.IrregularSlow) / (float64(s) * float64(s))
+		tb.addRow(fmt.Sprint(s), f3(densePP), f3(topoPP), f2(topoPP/densePP), f2(simRatio))
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "expected shape: per-pair topology-pattern cost ≫ per-pair dense cost (paper Table II: up to 33× wall-clock)")
+	return nil
+}
+
+// runFig12 times the three attention kernels vs sequence length and hidden
+// dimension.
+func runFig12(w io.Writer, scale Scale) error {
+	sweepS := []int{1024, 2048, 4096, 8192}
+	sweepD := []int{16, 32, 64}
+	fixedS := 4096
+	if scale == ScaleSmoke {
+		sweepS = []int{512, 1024}
+		sweepD = []int{16, 32}
+		fixedS = 1024
+	}
+	build := func(s int) (*sparse.Pattern, *sparse.Reformed) {
+		rng := rand.New(rand.NewSource(int64(s) * 7))
+		nb := s / 128
+		if nb < 2 {
+			nb = 2
+		}
+		sizes := make([]int, nb)
+		for i := range sizes {
+			sizes[i] = s / nb
+		}
+		g, _ := graph.SBM(graph.SBMConfig{BlockSizes: sizes, AvgDegIn: 12, AvgDegOut: 2}, rng)
+		g = g.Permute(graph.ShuffledIDs(g.N, rng))
+		part := partition.Partition(g, 8, 3)
+		perm, bounds := partition.ClusterOrder(part, 8)
+		g = g.Permute(perm)
+		p := sparse.FromGraph(g)
+		cl, err := sparse.NewClusterLayout(p, bounds)
+		if err != nil {
+			panic(err)
+		}
+		return p, sparse.ReformIndolent(cl, 16)
+	}
+	fmt.Fprintln(w, "(a) time vs sequence length, d=32:")
+	tb := &table{header: []string{"S", "flash(ms)", "sparse(ms)", "cluster-sparse(ms)"}}
+	for _, s := range sweepS {
+		p, r := build(s)
+		q, k, v := kernelQKV(s, 32, int64(s)+3)
+		tf := timeKernel(attention.NewFlash(false), q, k, v)
+		ts := timeKernel(attention.NewSparse(p), q, k, v)
+		tc := timeKernel(attention.NewClusterSparse(r), q, k, v)
+		tb.addRow(fmt.Sprint(s), fmt.Sprintf("%.1f", ms(tf)), fmt.Sprintf("%.1f", ms(ts)), fmt.Sprintf("%.1f", ms(tc)))
+	}
+	tb.write(w)
+
+	fmt.Fprintf(w, "\n(b) time vs hidden dim, S=%d:\n", fixedS)
+	tb2 := &table{header: []string{"d", "flash(ms)", "sparse(ms)", "cluster-sparse(ms)"}}
+	p, r := build(fixedS)
+	for _, d := range sweepD {
+		q, k, v := kernelQKV(fixedS, d, int64(d)+5)
+		tf := timeKernel(attention.NewFlash(false), q, k, v)
+		ts := timeKernel(attention.NewSparse(p), q, k, v)
+		tc := timeKernel(attention.NewClusterSparse(r), q, k, v)
+		tb2.addRow(fmt.Sprint(d), fmt.Sprintf("%.1f", ms(tf)), fmt.Sprintf("%.1f", ms(ts)), fmt.Sprintf("%.1f", ms(tc)))
+	}
+	tb2.write(w)
+	fmt.Fprintln(w, "expected shape: flash grows quadratically with S; sparse/cluster-sparse stay near-linear and win at long S")
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// runFig5 prints layout statistics for the three stages of Fig. 5.
+func runFig5(w io.Writer, scale Scale) error {
+	s := 4096
+	if scale == ScaleSmoke {
+		s = 1024
+	}
+	rng := rand.New(rand.NewSource(41))
+	nb := s / 128
+	sizes := make([]int, nb)
+	for i := range sizes {
+		sizes[i] = s / nb
+	}
+	g, _ := graph.SBM(graph.SBMConfig{BlockSizes: sizes, AvgDegIn: 14, AvgDegOut: 2}, rng)
+	g = g.Permute(graph.ShuffledIDs(g.N, rng))
+	k := 8
+	evenBounds := make([]int32, k+1)
+	for i := range evenBounds {
+		evenBounds[i] = int32(i * s / k)
+	}
+	raw := sparse.FromGraph(g)
+	rawCL, err := sparse.NewClusterLayout(raw, evenBounds)
+	if err != nil {
+		return err
+	}
+	part := partition.Partition(g, k, 5)
+	perm, bounds := partition.ClusterOrder(part, k)
+	re := g.Permute(perm)
+	cluster := sparse.FromGraph(re)
+	clCL, err := sparse.NewClusterLayout(cluster, bounds)
+	if err != nil {
+		return err
+	}
+	reformed := sparse.ReformIndolent(clCL, 16)
+	tb := &table{header: []string{"layout", "β (sparsity)", "diag NNZ frac", "sub-blocks"}}
+	tb.addRow("(a) original sparse", fmt.Sprintf("%.5f", raw.Sparsity()), pct(rawCL.DiagonalNNZFraction()), "-")
+	tb.addRow("(b) clustered", fmt.Sprintf("%.5f", cluster.Sparsity()), pct(clCL.DiagonalNNZFraction()), "-")
+	tb.addRow("(c) cluster-sparse", fmt.Sprintf("%.5f", reformed.EffectivePattern().Sparsity()),
+		pct(clCL.DiagonalNNZFraction()), fmt.Sprintf("%d (of %d clusters, %d transferred)",
+			len(reformed.Blocks), reformed.Clusters, reformed.Transferred))
+	tb.write(w)
+	fmt.Fprintln(w, "expected shape: clustering concentrates NNZ on the diagonal; reformation compacts the sparse remainder into sub-blocks")
+	return nil
+}

@@ -1,0 +1,225 @@
+// Package graph provides the graph substrate for TorchGT-Go: a compressed
+// sparse row (CSR) representation, traversal utilities, synthetic graph
+// generators and the dataset registry that stands in for the paper's OGB /
+// MalNet / ZINC benchmark suites (which are not available offline).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an unweighted directed graph in CSR form. Undirected graphs store
+// both edge directions. Node IDs are dense in [0, N).
+type Graph struct {
+	N      int
+	RowPtr []int32 // len N+1; RowPtr[i]..RowPtr[i+1] indexes ColIdx
+	ColIdx []int32 // len E; neighbour lists, sorted ascending per row
+}
+
+// NumEdges returns the number of stored (directed) edges.
+func (g *Graph) NumEdges() int { return len(g.ColIdx) }
+
+// Degree returns the out-degree of node i.
+func (g *Graph) Degree(i int) int { return int(g.RowPtr[i+1] - g.RowPtr[i]) }
+
+// Neighbors returns node i's adjacency list (a view into ColIdx).
+func (g *Graph) Neighbors(i int) []int32 {
+	return g.ColIdx[g.RowPtr[i]:g.RowPtr[i+1]]
+}
+
+// HasEdge reports whether edge (u, v) exists, via binary search.
+func (g *Graph) HasEdge(u, v int32) bool {
+	adj := g.Neighbors(int(u))
+	k := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return k < len(adj) && adj[k] == v
+}
+
+// Sparsity returns |E| / N², the fraction of nonzero adjacency entries (the
+// paper's β_G).
+func (g *Graph) Sparsity() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / (float64(g.N) * float64(g.N))
+}
+
+// MaxDegree returns the largest out-degree.
+func (g *Graph) MaxDegree() int {
+	mx := 0
+	for i := 0; i < g.N; i++ {
+		if d := g.Degree(i); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// MinDegree returns the smallest out-degree.
+func (g *Graph) MinDegree() int {
+	if g.N == 0 {
+		return 0
+	}
+	mn := g.Degree(0)
+	for i := 1; i < g.N; i++ {
+		if d := g.Degree(i); d < mn {
+			mn = d
+		}
+	}
+	return mn
+}
+
+// AvgDegree returns the mean out-degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(g.N)
+}
+
+// Edge is a directed edge (U → V).
+type Edge struct{ U, V int32 }
+
+// FromEdges builds a CSR graph with n nodes from an edge list. Duplicate
+// edges are removed; self-loops are kept as given. If undirected, the reverse
+// of every edge is added.
+func FromEdges(n int, edges []Edge, undirected bool) *Graph {
+	all := edges
+	if undirected {
+		all = make([]Edge, 0, 2*len(edges))
+		for _, e := range edges {
+			all = append(all, e)
+			if e.U != e.V {
+				all = append(all, Edge{e.V, e.U})
+			}
+		}
+	}
+	for _, e := range all {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", e.U, e.V, n))
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].U != all[j].U {
+			return all[i].U < all[j].U
+		}
+		return all[i].V < all[j].V
+	})
+	rowPtr := make([]int32, n+1)
+	colIdx := make([]int32, 0, len(all))
+	var prev Edge = Edge{-1, -1}
+	for _, e := range all {
+		if e == prev {
+			continue
+		}
+		prev = e
+		colIdx = append(colIdx, e.V)
+		rowPtr[e.U+1]++
+	}
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	return &Graph{N: n, RowPtr: rowPtr, ColIdx: colIdx}
+}
+
+// Edges materialises the edge list of g.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			out = append(out, Edge{int32(u), v})
+		}
+	}
+	return out
+}
+
+// WithSelfLoops returns a copy of g in which every node has a self-loop
+// (condition C1 of the paper's Dual-interleaved Attention).
+func (g *Graph) WithSelfLoops() *Graph {
+	edges := g.Edges()
+	for i := 0; i < g.N; i++ {
+		if !g.HasEdge(int32(i), int32(i)) {
+			edges = append(edges, Edge{int32(i), int32(i)})
+		}
+	}
+	return FromEdges(g.N, edges, false)
+}
+
+// Permute relabels nodes so that new node perm[i] is old node i... more
+// precisely: perm maps old ID → new ID, and the returned graph has edge
+// (perm[u], perm[v]) for every old edge (u, v). perm must be a permutation of
+// [0, N).
+func (g *Graph) Permute(perm []int32) *Graph {
+	if len(perm) != g.N {
+		panic("graph: Permute length mismatch")
+	}
+	seen := make([]bool, g.N)
+	for _, p := range perm {
+		if p < 0 || int(p) >= g.N || seen[p] {
+			panic("graph: Permute argument is not a permutation")
+		}
+		seen[p] = true
+	}
+	edges := make([]Edge, 0, g.NumEdges())
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			edges = append(edges, Edge{perm[u], perm[v]})
+		}
+	}
+	return FromEdges(g.N, edges, false)
+}
+
+// InducedSubgraph returns the subgraph over nodes (old IDs, need not be
+// sorted) with nodes relabelled to [0, len(nodes)) in the given order, plus
+// the mapping back to old IDs (which is just the input slice).
+func (g *Graph) InducedSubgraph(nodes []int32) *Graph {
+	newID := make(map[int32]int32, len(nodes))
+	for i, v := range nodes {
+		newID[v] = int32(i)
+	}
+	var edges []Edge
+	for i, u := range nodes {
+		for _, v := range g.Neighbors(int(u)) {
+			if j, ok := newID[v]; ok {
+				edges = append(edges, Edge{int32(i), j})
+			}
+		}
+	}
+	return FromEdges(len(nodes), edges, false)
+}
+
+// InDegrees returns in-degree per node (for Graphormer's centrality encoding
+// on directed graphs; equals out-degree for undirected ones).
+func (g *Graph) InDegrees() []int32 {
+	in := make([]int32, g.N)
+	for _, v := range g.ColIdx {
+		in[v]++
+	}
+	return in
+}
+
+// Validate checks CSR invariants and returns an error describing the first
+// violation, or nil.
+func (g *Graph) Validate() error {
+	if len(g.RowPtr) != g.N+1 {
+		return fmt.Errorf("graph: RowPtr len %d != N+1 (%d)", len(g.RowPtr), g.N+1)
+	}
+	if g.RowPtr[0] != 0 || int(g.RowPtr[g.N]) != len(g.ColIdx) {
+		return fmt.Errorf("graph: RowPtr endpoints invalid")
+	}
+	for i := 0; i < g.N; i++ {
+		if g.RowPtr[i] > g.RowPtr[i+1] {
+			return fmt.Errorf("graph: RowPtr not monotone at %d", i)
+		}
+		adj := g.Neighbors(i)
+		for k, v := range adj {
+			if v < 0 || int(v) >= g.N {
+				return fmt.Errorf("graph: neighbour %d of %d out of range", v, i)
+			}
+			if k > 0 && adj[k-1] >= v {
+				return fmt.Errorf("graph: row %d not strictly sorted", i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}}, true)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, false) // already contains both directions
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N != g.N || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed graph: %d/%d vs %d/%d", g2.N, g2.NumEdges(), g.N, g.NumEdges())
+	}
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if !g2.HasEdge(int32(u), v) {
+				t.Fatal("edge lost in round trip")
+			}
+		}
+	}
+}
+
+func TestReadEdgeListUndirectedAndComments(t *testing.T) {
+	in := "# a comment\n\n0 1\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || !g.HasEdge(1, 0) || !g.HasEdge(0, 2) {
+		t.Fatal("undirected parse wrong")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("0\n"), false); err == nil {
+		t.Fatal("short line must error")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n"), false); err == nil {
+		t.Fatal("non-numeric must error")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("-1 2\n"), false); err == nil {
+		t.Fatal("negative id must error")
+	}
+}
+
+func TestNodeDatasetFileRoundTrip(t *testing.T) {
+	d := MakeNodeDataset(NodeDatasetConfig{
+		Name: "roundtrip", NumNodes: 100, NumBlocks: 4, NumClasses: 4,
+		FeatDim: 8, AvgDegIn: 6, AvgDegOut: 1, NoiseStd: 1, Seed: 5, Shuffle: true,
+	})
+	path := filepath.Join(t.TempDir(), "ds.bin")
+	if err := SaveNodeDataset(path, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadNodeDatasetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != "roundtrip" || d2.G.N != d.G.N || d2.G.NumEdges() != d.G.NumEdges() {
+		t.Fatal("metadata lost")
+	}
+	if !d2.X.Equal(d.X, 0) {
+		t.Fatal("features lost")
+	}
+	for i := range d.Y {
+		if d.Y[i] != d2.Y[i] || d.Blocks[i] != d2.Blocks[i] ||
+			d.TrainMask[i] != d2.TrainMask[i] || d.TestMask[i] != d2.TestMask[i] || d.ValMask[i] != d2.ValMask[i] {
+			t.Fatalf("per-node data lost at %d", i)
+		}
+	}
+	if err := d2.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadNodeDatasetFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadNodeDatasetFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(dir, "bad.bin")
+	if err := writeFile(bad, []byte("garbage garbage garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadNodeDatasetFile(bad); err == nil {
+		t.Fatal("garbage must error")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,68 @@
+package model
+
+import (
+	"math/rand"
+
+	"torchgt/internal/nn"
+	"torchgt/internal/tensor"
+)
+
+// Block is one pre-LN transformer layer:
+//
+//	x = x + Dropout(MHA(LN1(x)))
+//	x = x + Dropout(FFN(LN2(x)))   with FFN = Linear→GELU→Linear.
+type Block struct {
+	LN1, LN2 *nn.LayerNorm
+	Attn     *MHA
+	FC1, FC2 *nn.Linear
+	Act      *nn.GELU
+	Drop1    *nn.Dropout
+	Drop2    *nn.Dropout
+}
+
+// NewBlock constructs a transformer block.
+func NewBlock(name string, hidden, heads, ffnHidden, numBuckets int, dropout float64, rng *rand.Rand) *Block {
+	return &Block{
+		LN1:   nn.NewLayerNorm(name+".ln1", hidden),
+		LN2:   nn.NewLayerNorm(name+".ln2", hidden),
+		Attn:  NewMHA(name+".attn", hidden, heads, numBuckets, rng),
+		FC1:   nn.NewLinear(name+".fc1", hidden, ffnHidden, true, rng),
+		FC2:   nn.NewLinear(name+".fc2", ffnHidden, hidden, true, rng),
+		Act:   &nn.GELU{},
+		Drop1: nn.NewDropout(dropout, rng.Int63()),
+		Drop2: nn.NewDropout(dropout, rng.Int63()),
+	}
+}
+
+// Params implements nn.Module.
+func (b *Block) Params() []*nn.Param {
+	return nn.CollectParams(b.LN1, b.Attn, b.LN2, b.FC1, b.FC2)
+}
+
+// Forward runs the block.
+func (b *Block) Forward(x *tensor.Mat, spec *AttentionSpec, train bool) *tensor.Mat {
+	h := b.Attn.Forward(b.LN1.Forward(x), spec)
+	h = b.Drop1.Forward(h, train)
+	x1 := tensor.New(x.Rows, x.Cols)
+	tensor.Add(x1, x, h)
+
+	f := b.FC2.Forward(b.Act.Forward(b.FC1.Forward(b.LN2.Forward(x1))))
+	f = b.Drop2.Forward(f, train)
+	out := tensor.New(x.Rows, x.Cols)
+	tensor.Add(out, x1, f)
+	return out
+}
+
+// Backward propagates dOut through the block and returns dX.
+func (b *Block) Backward(dOut *tensor.Mat) *tensor.Mat {
+	// FFN branch
+	df := b.Drop2.Backward(dOut)
+	dx1 := b.LN2.Backward(b.FC1.Backward(b.Act.Backward(b.FC2.Backward(df))))
+	tensor.AddInPlace(dx1, dOut) // residual
+
+	// attention branch
+	dh := b.Drop1.Backward(dx1)
+	dx := b.LN1.Backward(b.Attn.Backward(dh))
+	tensor.AddInPlace(dx, dx1) // residual
+	return dx
+}

@@ -1,0 +1,219 @@
+package model
+
+import (
+	"math/rand"
+
+	"torchgt/internal/attention"
+	"torchgt/internal/nn"
+	"torchgt/internal/tensor"
+)
+
+// MHA is multi-head attention with pluggable kernels and optional learnable
+// SPD bias tables (one scalar per bucket per head, shared across layers in
+// Graphormer; we keep one table per layer for simplicity and note the
+// difference in DESIGN.md).
+type MHA struct {
+	Hidden, Heads, Dh int
+	WQ, WK, WV, WO    *nn.Linear
+	BiasTable         *nn.Embedding // NumBuckets×Heads, nil when bias disabled
+
+	// per-forward state
+	kernels []attention.Kernel
+	spec    *AttentionSpec
+	dhCache int
+}
+
+// NewMHA builds the projections (and bias table when numBuckets > 0).
+func NewMHA(name string, hidden, heads, numBuckets int, rng *rand.Rand) *MHA {
+	m := &MHA{
+		Hidden: hidden, Heads: heads, Dh: hidden / heads,
+		WQ: nn.NewLinear(name+".wq", hidden, hidden, true, rng),
+		WK: nn.NewLinear(name+".wk", hidden, hidden, true, rng),
+		WV: nn.NewLinear(name+".wv", hidden, hidden, true, rng),
+		WO: nn.NewLinear(name+".wo", hidden, hidden, true, rng),
+	}
+	if numBuckets > 0 {
+		m.BiasTable = nn.NewEmbedding(name+".bias", numBuckets, heads, rng)
+	}
+	return m
+}
+
+// Params implements nn.Module.
+func (m *MHA) Params() []*nn.Param {
+	ps := nn.CollectParams(m.WQ, m.WK, m.WV, m.WO)
+	if m.BiasTable != nil {
+		ps = append(ps, m.BiasTable.Params()...)
+	}
+	return ps
+}
+
+// KernelFor instantiates the kernel for one head according to the spec,
+// wiring head-specific bias values in. Exported for the distributed runtime,
+// which creates kernels per worker-local head.
+func (m *MHA) KernelFor(head int, spec *AttentionSpec, s int) attention.Kernel {
+	return m.newKernel(head, spec, s)
+}
+
+// newKernel instantiates the kernel for one head according to the spec.
+func (m *MHA) newKernel(head int, spec *AttentionSpec, s int) attention.Kernel {
+	k := m.newKernelInner(head, spec, s)
+	if spec.BF16 && spec.Mode != ModeFlashBF16 {
+		return &attention.BF16Wrap{Inner: k}
+	}
+	return k
+}
+
+func (m *MHA) newKernelInner(head int, spec *AttentionSpec, s int) attention.Kernel {
+	switch spec.Mode {
+	case ModeDense:
+		d := attention.NewDense()
+		if m.BiasTable != nil && spec.DenseBuckets != nil {
+			bias := tensor.New(s, s)
+			for i := 0; i < s; i++ {
+				row := bias.Row(i)
+				for j := 0; j < s; j++ {
+					row[j] = m.BiasTable.W.W.At(int(spec.DenseBuckets[i][j]), head)
+				}
+			}
+			d.SetBias(bias)
+		}
+		return d
+	case ModeFlash:
+		return attention.NewFlash(false)
+	case ModeFlashBF16:
+		return attention.NewFlash(true)
+	case ModeSparse:
+		sp := attention.NewSparse(spec.Pattern)
+		if m.BiasTable != nil && spec.EdgeBuckets != nil {
+			bias := make([]float32, len(spec.EdgeBuckets))
+			for e, b := range spec.EdgeBuckets {
+				bias[e] = m.BiasTable.W.W.At(int(b), head)
+			}
+			sp.SetEdgeBias(bias)
+		}
+		return sp
+	case ModeClusterSparse:
+		cs := attention.NewClusterSparse(spec.Reformed)
+		if m.BiasTable != nil {
+			if spec.KeepBuckets != nil {
+				bias := make([]float32, len(spec.KeepBuckets))
+				for e, b := range spec.KeepBuckets {
+					bias[e] = m.BiasTable.W.W.At(int(b), head)
+				}
+				cs.SetEdgeBias(bias)
+			}
+			// all compacted entries represent direct edges → bucket 1
+			if m.BiasTable.Num > 1 {
+				cs.SetBlockBias(m.BiasTable.W.W.At(1, head))
+			}
+		}
+		return cs
+	case ModeKernelized:
+		return attention.NewKernelized()
+	}
+	panic("model: unknown attention mode")
+}
+
+// Forward runs multi-head attention over x (S×Hidden) using spec's kernels.
+func (m *MHA) Forward(x *tensor.Mat, spec *AttentionSpec) *tensor.Mat {
+	if err := spec.Validate(x.Rows); err != nil {
+		panic(err)
+	}
+	m.spec = spec
+	s := x.Rows
+	q := m.WQ.Forward(x)
+	k := m.WK.Forward(x)
+	v := m.WV.Forward(x)
+	m.kernels = make([]attention.Kernel, m.Heads)
+	concat := tensor.New(s, m.Hidden)
+	for h := 0; h < m.Heads; h++ {
+		qh := colSlice(q, h*m.Dh, m.Dh)
+		kh := colSlice(k, h*m.Dh, m.Dh)
+		vh := colSlice(v, h*m.Dh, m.Dh)
+		kr := m.newKernel(h, spec, s)
+		m.kernels[h] = kr
+		oh := kr.Forward(qh, kh, vh)
+		addColSlice(concat, oh, h*m.Dh)
+	}
+	return m.WO.Forward(concat)
+}
+
+// Backward propagates through WO, each head's kernel and the projections,
+// accumulating bias-table gradients, and returns dX.
+func (m *MHA) Backward(dout *tensor.Mat) *tensor.Mat {
+	dConcat := m.WO.Backward(dout)
+	s := dConcat.Rows
+	dq := tensor.New(s, m.Hidden)
+	dk := tensor.New(s, m.Hidden)
+	dv := tensor.New(s, m.Hidden)
+	for h := 0; h < m.Heads; h++ {
+		dOh := colSlice(dConcat, h*m.Dh, m.Dh)
+		dqh, dkh, dvh := m.kernels[h].Backward(dOh)
+		addColSlice(dq, dqh, h*m.Dh)
+		addColSlice(dk, dkh, h*m.Dh)
+		addColSlice(dv, dvh, h*m.Dh)
+		m.accumBiasGrads(h)
+	}
+	dx := m.WQ.Backward(dq)
+	tensor.AddInPlace(dx, m.WK.Backward(dk))
+	tensor.AddInPlace(dx, m.WV.Backward(dv))
+	return dx
+}
+
+// accumBiasGrads scatters kernel bias gradients into the bias table.
+func (m *MHA) accumBiasGrads(head int) {
+	m.AccumBiasGrads(head, m.kernels[head], m.spec)
+}
+
+// AccumBiasGrads scatters one head-kernel's bias gradients into the bias
+// table (exported for the distributed runtime).
+func (m *MHA) AccumBiasGrads(head int, kernel attention.Kernel, spec *AttentionSpec) {
+	if m.BiasTable == nil || kernel == nil {
+		return
+	}
+	grad := m.BiasTable.W.Grad
+	if w, ok := kernel.(*attention.BF16Wrap); ok {
+		kernel = w.Inner
+	}
+	switch kr := kernel.(type) {
+	case *attention.Dense:
+		bg := kr.BiasGrad()
+		if bg == nil || spec.DenseBuckets == nil {
+			return
+		}
+		for i := 0; i < bg.Rows; i++ {
+			row := bg.Row(i)
+			for j, g := range row {
+				grad.Data[int(spec.DenseBuckets[i][j])*m.Heads+head] += g
+			}
+		}
+	case *attention.Sparse:
+		bg := kr.EdgeBiasGrad()
+		if bg == nil {
+			return
+		}
+		for e, g := range bg {
+			grad.Data[int(spec.EdgeBuckets[e])*m.Heads+head] += g
+		}
+	case *attention.ClusterSparse:
+		if bg := kr.EdgeBiasGrad(); bg != nil {
+			for e, g := range bg {
+				grad.Data[int(spec.KeepBuckets[e])*m.Heads+head] += g
+			}
+		}
+		if m.BiasTable.Num > 1 {
+			grad.Data[1*m.Heads+head] += kr.BlockBiasGrad()
+		}
+	}
+}
+
+// Pairs sums attended pairs over heads of the last forward (compute units).
+func (m *MHA) Pairs() int64 {
+	var p int64
+	for _, k := range m.kernels {
+		if k != nil {
+			p += k.Pairs()
+		}
+	}
+	return p
+}

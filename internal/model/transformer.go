@@ -1,0 +1,164 @@
+package model
+
+import (
+	"math/rand"
+
+	"torchgt/internal/nn"
+	"torchgt/internal/tensor"
+)
+
+// GraphTransformer is the shared architecture behind Graphormer, GT and
+// NodeFormer-lite: input projection plus optional structural encodings, a
+// stack of transformer blocks with pluggable attention, and a node-level or
+// global-token head.
+type GraphTransformer struct {
+	Cfg Config
+
+	InProj   *nn.Linear
+	DegIn    *nn.Embedding // Graphormer z⁻ (in-degree), nil unless enabled
+	DegOut   *nn.Embedding // Graphormer z⁺ (out-degree)
+	LapProj  *nn.Linear    // GT Laplacian PE projection
+	Global   *nn.Param     // 1×Hidden learnable readout token
+	Blocks   []*Block
+	FinalLN  *nn.LayerNorm
+	Head     *nn.Linear
+	InDrop   *nn.Dropout
+	numToken int // cached sequence length incl. global token
+}
+
+// Inputs carries per-step input tensors alongside features.
+type Inputs struct {
+	X *tensor.Mat // S×InDim node features
+	// DegInIdx/DegOutIdx are degree buckets (required iff UseDegreeEnc).
+	DegInIdx, DegOutIdx []int32
+	// LapPE is the positional encoding matrix (required iff UseLapPE).
+	LapPE *tensor.Mat
+}
+
+// NewGraphTransformer builds the model from cfg.
+func NewGraphTransformer(cfg Config) *GraphTransformer {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gt := &GraphTransformer{Cfg: cfg}
+	gt.InProj = nn.NewLinear(cfg.Name+".in", cfg.InDim, cfg.Hidden, true, rng)
+	if cfg.UseDegreeEnc {
+		gt.DegIn = nn.NewEmbedding(cfg.Name+".zin", 64, cfg.Hidden, rng)
+		gt.DegOut = nn.NewEmbedding(cfg.Name+".zout", 64, cfg.Hidden, rng)
+	}
+	if cfg.UseLapPE {
+		gt.LapProj = nn.NewLinear(cfg.Name+".lap", cfg.LapDim, cfg.Hidden, true, rng)
+	}
+	if cfg.GlobalToken {
+		gt.Global = nn.NewParam(cfg.Name+".cls", 1, cfg.Hidden)
+		gt.Global.InitNormal(rng, 0.02)
+	}
+	buckets := 0
+	if cfg.UseSPDBias {
+		buckets = cfg.NumBuckets
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		gt.Blocks = append(gt.Blocks, NewBlock(
+			cfg.Name+".blk", cfg.Hidden, cfg.Heads, cfg.FFNHidden, buckets, cfg.Dropout, rng))
+	}
+	gt.FinalLN = nn.NewLayerNorm(cfg.Name+".lnf", cfg.Hidden)
+	gt.Head = nn.NewLinear(cfg.Name+".head", cfg.Hidden, cfg.OutDim, true, rng)
+	gt.InDrop = nn.NewDropout(cfg.Dropout, rng.Int63())
+	return gt
+}
+
+// Params implements nn.Module.
+func (g *GraphTransformer) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, g.InProj.Params()...)
+	if g.DegIn != nil {
+		ps = append(ps, g.DegIn.Params()...)
+		ps = append(ps, g.DegOut.Params()...)
+	}
+	if g.LapProj != nil {
+		ps = append(ps, g.LapProj.Params()...)
+	}
+	if g.Global != nil {
+		ps = append(ps, g.Global)
+	}
+	for _, b := range g.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	ps = append(ps, g.FinalLN.Params()...)
+	ps = append(ps, g.Head.Params()...)
+	return ps
+}
+
+// embed builds the token sequence h⁰: projected features plus degree/PE
+// encodings, with the global token (if any) prepended at position 0. The
+// AttentionSpec's pattern must already account for the global token.
+func (g *GraphTransformer) embed(in *Inputs, train bool) *tensor.Mat {
+	h := g.InProj.Forward(in.X)
+	if g.DegIn != nil {
+		tensor.AddInPlace(h, g.DegIn.Forward(in.DegInIdx))
+		tensor.AddInPlace(h, g.DegOut.Forward(in.DegOutIdx))
+	}
+	if g.LapProj != nil {
+		tensor.AddInPlace(h, g.LapProj.Forward(in.LapPE))
+	}
+	if g.Global != nil {
+		seq := tensor.New(h.Rows+1, g.Cfg.Hidden)
+		copy(seq.Row(0), g.Global.W.Row(0))
+		copy(seq.Data[g.Cfg.Hidden:], h.Data)
+		h = seq
+	}
+	g.numToken = h.Rows
+	return g.InDrop.Forward(h, train)
+}
+
+// Forward computes logits: node-level → S×OutDim (global-token row dropped);
+// graph-level (GlobalToken set) → 1×OutDim from the readout token.
+func (g *GraphTransformer) Forward(in *Inputs, spec *AttentionSpec, train bool) *tensor.Mat {
+	h := g.embed(in, train)
+	for _, b := range g.Blocks {
+		h = b.Forward(h, spec, train)
+	}
+	h = g.FinalLN.Forward(h)
+	if g.Global != nil {
+		return g.Head.Forward(h.SliceRows(0, 1))
+	}
+	return g.Head.Forward(h)
+}
+
+// Backward accumulates gradients from dLogits (shape mirroring Forward's
+// return) into all parameters.
+func (g *GraphTransformer) Backward(dLogits *tensor.Mat) {
+	var dh *tensor.Mat
+	if g.Global != nil {
+		dRow := g.Head.Backward(dLogits) // 1×Hidden
+		dh = tensor.New(g.numToken, g.Cfg.Hidden)
+		copy(dh.Row(0), dRow.Row(0))
+	} else {
+		dh = g.Head.Backward(dLogits)
+	}
+	dh = g.FinalLN.Backward(dh)
+	for i := len(g.Blocks) - 1; i >= 0; i-- {
+		dh = g.Blocks[i].Backward(dh)
+	}
+	dh = g.InDrop.Backward(dh)
+	if g.Global != nil {
+		tensor.Axpy(1, dh.Row(0), g.Global.Grad.Row(0))
+		dh = dh.SliceRows(1, g.numToken)
+	}
+	if g.LapProj != nil {
+		g.LapProj.Backward(dh)
+	}
+	if g.DegIn != nil {
+		g.DegIn.Backward(dh)
+		g.DegOut.Backward(dh)
+	}
+	g.InProj.Backward(dh)
+}
+
+// Pairs sums attended pairs across blocks for the last forward.
+func (g *GraphTransformer) Pairs() int64 {
+	var p int64
+	for _, b := range g.Blocks {
+		p += b.Attn.Pairs()
+	}
+	return p
+}

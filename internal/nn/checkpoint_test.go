@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadParamsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l1 := NewLinear("a", 4, 3, true, rng)
+	l2 := NewLinear("b", 3, 2, false, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, CollectParams(l1, l2)); err != nil {
+		t.Fatal(err)
+	}
+	// fresh modules with different init
+	rng2 := rand.New(rand.NewSource(99))
+	m1 := NewLinear("a", 4, 3, true, rng2)
+	m2 := NewLinear("b", 3, 2, false, rng2)
+	if m1.W.W.Equal(l1.W.W, 1e-9) {
+		t.Fatal("test setup: inits should differ")
+	}
+	if err := LoadParams(&buf, CollectParams(m1, m2)); err != nil {
+		t.Fatal(err)
+	}
+	if !m1.W.W.Equal(l1.W.W, 0) || !m2.W.W.Equal(l2.W.W, 0) || !m1.B.W.Equal(l1.B.W, 0) {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestLoadParamsRejectsMismatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLinear("a", 4, 3, false, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, l.Params()); err != nil {
+		t.Fatal(err)
+	}
+	// wrong count
+	other := NewLinear("a", 4, 3, true, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), other.Params()); err == nil {
+		t.Fatal("param count mismatch must error")
+	}
+	// wrong shape
+	shaped := NewLinear("a", 4, 5, false, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), shaped.Params()); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+	// wrong name
+	named := NewLinear("z", 4, 3, false, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), named.Params()); err == nil {
+		t.Fatal("name mismatch must error")
+	}
+	// garbage input
+	if err := LoadParams(bytes.NewReader([]byte("not a checkpoint")), l.Params()); err == nil {
+		t.Fatal("garbage must error")
+	}
+}
+
+func TestSaveLoadCheckpointFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLinear("a", 2, 2, true, rng)
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := SaveCheckpoint(path, l); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewLinear("a", 2, 2, true, rand.New(rand.NewSource(7)))
+	if err := LoadCheckpoint(path, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.W.W.Equal(l.W.W, 0) {
+		t.Fatal("file round trip lost data")
+	}
+	if err := LoadCheckpoint(filepath.Join(t.TempDir(), "missing.bin"), l); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"math/rand"
+
+	"torchgt/internal/tensor"
+)
+
+// Dropout zeroes activations with probability P during training (inverted
+// dropout: survivors scaled by 1/(1−P)).
+type Dropout struct {
+	P    float64
+	rng  *rand.Rand
+	mask []float32
+}
+
+// NewDropout constructs a dropout layer with its own RNG stream.
+func NewDropout(p float64, seed int64) *Dropout {
+	return &Dropout{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Forward applies dropout when train is true; identity otherwise.
+func (d *Dropout) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if !train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	keep := float32(1.0 / (1.0 - d.P))
+	d.mask = make([]float32, len(x.Data))
+	y := tensor.New(x.Rows, x.Cols)
+	for i := range x.Data {
+		if d.rng.Float64() >= d.P {
+			d.mask[i] = keep
+			y.Data[i] = x.Data[i] * keep
+		}
+	}
+	return y
+}
+
+// Backward routes gradients through the surviving units.
+func (d *Dropout) Backward(dy *tensor.Mat) *tensor.Mat {
+	if d.mask == nil {
+		return dy
+	}
+	dx := tensor.New(dy.Rows, dy.Cols)
+	for i := range dy.Data {
+		dx.Data[i] = dy.Data[i] * d.mask[i]
+	}
+	return dx
+}

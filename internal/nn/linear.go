@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math/rand"
+
+	"torchgt/internal/tensor"
+)
+
+// Linear is a fully-connected layer Y = X·W + b.
+type Linear struct {
+	In, Out int
+	W       *Param // In×Out
+	B       *Param // 1×Out (nil when bias disabled)
+
+	x *tensor.Mat // cached input for backward
+}
+
+// NewLinear constructs a Linear layer with Xavier-initialised weights.
+func NewLinear(name string, in, out int, bias bool, rng *rand.Rand) *Linear {
+	l := &Linear{In: in, Out: out, W: NewParam(name+".W", in, out)}
+	l.W.InitXavier(rng)
+	if bias {
+		l.B = NewParam(name+".b", 1, out)
+	}
+	return l
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Param {
+	if l.B == nil {
+		return []*Param{l.W}
+	}
+	return []*Param{l.W, l.B}
+}
+
+// Forward computes Y = X·W + b, caching X for backward.
+func (l *Linear) Forward(x *tensor.Mat) *tensor.Mat {
+	l.x = x
+	y := tensor.New(x.Rows, l.Out)
+	tensor.MatMul(y, x, l.W.W)
+	if l.B != nil {
+		tensor.AddRowVec(y, l.B.W.Data)
+	}
+	return y
+}
+
+// Backward accumulates dW, db and returns dX.
+func (l *Linear) Backward(dy *tensor.Mat) *tensor.Mat {
+	dW := tensor.New(l.In, l.Out)
+	tensor.TMatMul(dW, l.x, dy)
+	tensor.AddInPlace(l.W.Grad, dW)
+	if l.B != nil {
+		tensor.ColSum(l.B.Grad.Data, dy)
+	}
+	dx := tensor.New(dy.Rows, l.In)
+	tensor.MatMulT(dx, dy, l.W.W)
+	return dx
+}
+
+// ActivationBytes reports the cached activation footprint after Forward.
+func (l *Linear) ActivationBytes() int64 {
+	if l.x == nil {
+		return 0
+	}
+	return l.x.Bytes()
+}

@@ -1,0 +1,51 @@
+package nn
+
+import "torchgt/internal/tensor"
+
+// ConfusionMatrix tallies predicted-vs-true class counts over masked rows.
+// Entry [t][p] counts true class t predicted as p.
+func ConfusionMatrix(logits *tensor.Mat, labels []int32, mask []bool, classes int) [][]int {
+	cm := make([][]int, classes)
+	for i := range cm {
+		cm[i] = make([]int, classes)
+	}
+	for i := 0; i < logits.Rows; i++ {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		row := logits.Row(i)
+		best := 0
+		for j := 1; j < len(row); j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		cm[labels[i]][best]++
+	}
+	return cm
+}
+
+// MacroF1 computes the unweighted mean of per-class F1 scores. Classes with
+// no true or predicted samples contribute an F1 of 0.
+func MacroF1(logits *tensor.Mat, labels []int32, mask []bool, classes int) float64 {
+	cm := ConfusionMatrix(logits, labels, mask, classes)
+	var sum float64
+	for c := 0; c < classes; c++ {
+		tp := cm[c][c]
+		fp, fn := 0, 0
+		for o := 0; o < classes; o++ {
+			if o == c {
+				continue
+			}
+			fp += cm[o][c]
+			fn += cm[c][o]
+		}
+		if tp == 0 {
+			continue
+		}
+		precision := float64(tp) / float64(tp+fp)
+		recall := float64(tp) / float64(tp+fn)
+		sum += 2 * precision * recall / (precision + recall)
+	}
+	return sum / float64(classes)
+}

@@ -1,0 +1,67 @@
+// Package nn is the neural-network substrate replacing PyTorch: layers with
+// hand-written forward/backward passes (verified by finite-difference
+// gradient checks in the test suite), parameter containers and the Adam
+// optimiser. All state is explicit — a layer caches exactly the activations
+// its backward pass needs, which also lets the memory model in internal/dist
+// account for activation footprints the way the paper's OOM analysis does.
+package nn
+
+import (
+	"math/rand"
+
+	"torchgt/internal/tensor"
+)
+
+// Param is a learnable tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Mat
+	Grad *tensor.Mat
+}
+
+// NewParam allocates a named parameter of the given shape with zero values.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: tensor.New(rows, cols), Grad: tensor.New(rows, cols)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumElems returns the parameter count.
+func (p *Param) NumElems() int { return p.W.Rows * p.W.Cols }
+
+// Module is anything owning parameters.
+type Module interface {
+	Params() []*Param
+}
+
+// CollectParams flattens the parameters of several modules.
+func CollectParams(ms ...Module) []*Param {
+	var out []*Param
+	for _, m := range ms {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// NumParams sums parameter counts over modules.
+func NumParams(ms ...Module) int {
+	n := 0
+	for _, p := range CollectParams(ms...) {
+		n += p.NumElems()
+	}
+	return n
+}
+
+// ZeroGrads clears every gradient of the given parameters.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// InitXavier initialises a parameter with Xavier uniform values.
+func (p *Param) InitXavier(rng *rand.Rand) { tensor.XavierInit(p.W, rng) }
+
+// InitNormal initialises a parameter with N(0, std²) values.
+func (p *Param) InitNormal(rng *rand.Rand, std float64) { tensor.RandN(p.W, rng, std) }

@@ -1,0 +1,382 @@
+// Package partition implements a METIS-style multilevel k-way graph
+// partitioner: heavy-edge-matching coarsening, greedy region-growing
+// recursive bisection on the coarsest graph, and FM-style boundary
+// refinement during uncoarsening. TorchGT uses it (a) to reorder node IDs so
+// that clusters are contiguous — improving attention locality — and (b) to
+// define the k×k clustered attention layout consumed by the Elastic
+// Computation Reformation.
+package partition
+
+import (
+	"math/rand"
+	"sort"
+
+	"torchgt/internal/graph"
+)
+
+// wedge is a weighted edge of a coarsened graph.
+type wedge struct {
+	to int32
+	w  int32
+}
+
+// wgraph is the internal weighted multilevel representation.
+type wgraph struct {
+	n     int
+	adj   [][]wedge
+	nodeW []int32
+	// fineMap[i] = coarse node that fine node i collapsed into (for the
+	// level below this one); nil at the finest level.
+	fineMap []int32
+}
+
+func fromGraph(g *graph.Graph) *wgraph {
+	wg := &wgraph{n: g.N, adj: make([][]wedge, g.N), nodeW: make([]int32, g.N)}
+	for i := 0; i < g.N; i++ {
+		wg.nodeW[i] = 1
+		adj := g.Neighbors(i)
+		out := make([]wedge, 0, len(adj))
+		for _, v := range adj {
+			if int(v) == i {
+				continue // ignore self loops for partitioning
+			}
+			out = append(out, wedge{to: v, w: 1})
+		}
+		wg.adj[i] = out
+	}
+	return wg
+}
+
+// coarsen performs one level of heavy-edge matching and returns the coarser
+// graph, or nil if coarsening made no progress.
+func (wg *wgraph) coarsen(rng *rand.Rand) *wgraph {
+	match := make([]int32, wg.n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(wg.n)
+	coarseN := 0
+	coarseID := make([]int32, wg.n)
+	for i := range coarseID {
+		coarseID[i] = -1
+	}
+	for _, u := range order {
+		if match[u] >= 0 {
+			continue
+		}
+		// heaviest unmatched neighbour
+		best := int32(-1)
+		var bestW int32
+		for _, e := range wg.adj[u] {
+			if match[e.to] < 0 && int(e.to) != u && e.w > bestW {
+				best = e.to
+				bestW = e.w
+			}
+		}
+		if best >= 0 {
+			match[u] = best
+			match[best] = int32(u)
+			coarseID[u] = int32(coarseN)
+			coarseID[best] = int32(coarseN)
+		} else {
+			match[u] = int32(u)
+			coarseID[u] = int32(coarseN)
+		}
+		coarseN++
+	}
+	if coarseN >= wg.n { // no progress
+		return nil
+	}
+	out := &wgraph{
+		n:       coarseN,
+		adj:     make([][]wedge, coarseN),
+		nodeW:   make([]int32, coarseN),
+		fineMap: coarseID,
+	}
+	// accumulate node weights and edges
+	edgeAcc := make([]map[int32]int32, coarseN)
+	for u := 0; u < wg.n; u++ {
+		cu := coarseID[u]
+		out.nodeW[cu] += wg.nodeW[u]
+		if edgeAcc[cu] == nil {
+			edgeAcc[cu] = make(map[int32]int32)
+		}
+		for _, e := range wg.adj[u] {
+			cv := coarseID[e.to]
+			if cv == cu {
+				continue
+			}
+			edgeAcc[cu][cv] += e.w
+		}
+	}
+	for c := 0; c < coarseN; c++ {
+		for v, w := range edgeAcc[c] {
+			out.adj[c] = append(out.adj[c], wedge{to: v, w: w})
+		}
+		// deterministic adjacency order regardless of map iteration
+		sort.Slice(out.adj[c], func(i, j int) bool { return out.adj[c][i].to < out.adj[c][j].to })
+	}
+	return out
+}
+
+// bisect splits nodes (a subset of wg) into two sides with target weight
+// ratio leftFrac using greedy BFS region growth from a random seed.
+func (wg *wgraph) bisect(nodes []int32, leftFrac float64, rng *rand.Rand) (left, right []int32) {
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	inSet := make(map[int32]bool, len(nodes))
+	var totalW int64
+	for _, u := range nodes {
+		inSet[u] = true
+		totalW += int64(wg.nodeW[u])
+	}
+	targetW := int64(float64(totalW) * leftFrac)
+	picked := make(map[int32]bool)
+	var pickedW int64
+	seed := nodes[rng.Intn(len(nodes))]
+	queue := []int32{seed}
+	picked[seed] = true
+	pickedW += int64(wg.nodeW[seed])
+	for qi := 0; qi < len(queue) && pickedW < targetW; qi++ {
+		u := queue[qi]
+		for _, e := range wg.adj[u] {
+			if pickedW >= targetW {
+				break
+			}
+			if inSet[e.to] && !picked[e.to] {
+				picked[e.to] = true
+				pickedW += int64(wg.nodeW[e.to])
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	// BFS may exhaust a component before reaching target: top up arbitrarily.
+	for _, u := range nodes {
+		if pickedW >= targetW {
+			break
+		}
+		if !picked[u] {
+			picked[u] = true
+			pickedW += int64(wg.nodeW[u])
+		}
+	}
+	for _, u := range nodes {
+		if picked[u] {
+			left = append(left, u)
+		} else {
+			right = append(right, u)
+		}
+	}
+	return left, right
+}
+
+// initialPartition recursively bisects the coarsest graph into k parts.
+func (wg *wgraph) initialPartition(k int, rng *rand.Rand) []int32 {
+	part := make([]int32, wg.n)
+	all := make([]int32, wg.n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	var rec func(nodes []int32, lo, hi int)
+	rec = func(nodes []int32, lo, hi int) {
+		if hi-lo <= 1 {
+			for _, u := range nodes {
+				part[u] = int32(lo)
+			}
+			return
+		}
+		mid := (lo + hi) / 2
+		frac := float64(mid-lo) / float64(hi-lo)
+		left, right := wg.bisect(nodes, frac, rng)
+		rec(left, lo, mid)
+		rec(right, mid, hi)
+	}
+	rec(all, 0, k)
+	return part
+}
+
+// refine runs FM-style boundary passes: move a node to the neighbouring part
+// with the best positive gain, subject to a balance constraint.
+func (wg *wgraph) refine(part []int32, k int, passes int) {
+	partW := make([]int64, k)
+	var totalW int64
+	for u := 0; u < wg.n; u++ {
+		partW[part[u]] += int64(wg.nodeW[u])
+		totalW += int64(wg.nodeW[u])
+	}
+	maxW := int64(float64(totalW)/float64(k)*1.1) + 1
+	conn := make([]int32, k)
+	touched := make([]int32, 0, 16)
+	for p := 0; p < passes; p++ {
+		moved := 0
+		for u := 0; u < wg.n; u++ {
+			pu := part[u]
+			// connection weight to each adjacent part (deterministic:
+			// candidate parts examined in adjacency order)
+			touched = touched[:0]
+			for _, e := range wg.adj[u] {
+				pv := part[e.to]
+				if conn[pv] == 0 {
+					touched = append(touched, pv)
+				}
+				conn[pv] += e.w
+			}
+			bestPart := pu
+			bestGain := int32(0)
+			for _, pv := range touched {
+				if pv == pu {
+					continue
+				}
+				gain := conn[pv] - conn[pu]
+				if (gain > bestGain || (gain == bestGain && bestPart != pu && pv < bestPart)) &&
+					partW[pv]+int64(wg.nodeW[u]) <= maxW {
+					bestGain = gain
+					bestPart = pv
+				}
+			}
+			for _, pv := range touched {
+				conn[pv] = 0
+			}
+			if bestPart != pu {
+				partW[pu] -= int64(wg.nodeW[u])
+				partW[bestPart] += int64(wg.nodeW[u])
+				part[u] = bestPart
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+// cutWeight sums the weight of edges crossing parts (each direction counted).
+func (wg *wgraph) cutWeight(part []int32) int64 {
+	var cut int64
+	for u := 0; u < wg.n; u++ {
+		for _, e := range wg.adj[u] {
+			if part[u] != part[e.to] {
+				cut += int64(e.w)
+			}
+		}
+	}
+	return cut
+}
+
+// Partition splits g into k parts using the multilevel scheme and returns a
+// part label per node. Deterministic for a given seed.
+func Partition(g *graph.Graph, k int, seed int64) []int32 {
+	if k <= 1 || g.N == 0 {
+		return make([]int32, g.N)
+	}
+	if k >= g.N {
+		part := make([]int32, g.N)
+		for i := range part {
+			part[i] = int32(i % k)
+		}
+		return part
+	}
+	rng := rand.New(rand.NewSource(seed))
+	levels := []*wgraph{fromGraph(g)}
+	coarsestTarget := 8 * k
+	if coarsestTarget < 64 {
+		coarsestTarget = 64
+	}
+	for levels[len(levels)-1].n > coarsestTarget {
+		next := levels[len(levels)-1].coarsen(rng)
+		if next == nil {
+			break
+		}
+		levels = append(levels, next)
+	}
+	// several randomised initial partitions on the coarsest graph; keep the
+	// best cut (cheap: the coarsest graph is tiny).
+	coarsest := levels[len(levels)-1]
+	var part []int32
+	bestCut := int64(-1)
+	for try := 0; try < 4; try++ {
+		cand := coarsest.initialPartition(k, rng)
+		coarsest.refine(cand, k, 8)
+		cut := coarsest.cutWeight(cand)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			part = cand
+		}
+	}
+	// project back up through the levels
+	for li := len(levels) - 1; li >= 1; li-- {
+		coarse := levels[li]
+		fine := levels[li-1]
+		finePart := make([]int32, fine.n)
+		for u := 0; u < fine.n; u++ {
+			finePart[u] = part[coarse.fineMap[u]]
+		}
+		part = finePart
+		fine.refine(part, k, 4)
+	}
+	return part
+}
+
+// ClusterOrder returns a permutation (old ID → new ID) that lays parts out
+// contiguously in ascending part order, plus the row boundaries of each part
+// in the new ordering (len k+1). Within a part the original relative order is
+// preserved.
+func ClusterOrder(part []int32, k int) (perm []int32, bounds []int32) {
+	counts := make([]int32, k+1)
+	for _, p := range part {
+		counts[p+1]++
+	}
+	for i := 0; i < k; i++ {
+		counts[i+1] += counts[i]
+	}
+	bounds = append([]int32(nil), counts...)
+	next := append([]int32(nil), counts[:k]...)
+	perm = make([]int32, len(part))
+	for old, p := range part {
+		perm[old] = next[p]
+		next[p]++
+	}
+	return perm, bounds
+}
+
+// EdgeCut counts edges whose endpoints lie in different parts (each directed
+// stored edge counted once).
+func EdgeCut(g *graph.Graph, part []int32) int {
+	cut := 0
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if part[u] != part[v] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Balance returns maxPartSize / idealPartSize (1.0 = perfectly balanced).
+func Balance(part []int32, k int) float64 {
+	if len(part) == 0 || k == 0 {
+		return 1
+	}
+	counts := make([]int, k)
+	for _, p := range part {
+		counts[p]++
+	}
+	mx := 0
+	for _, c := range counts {
+		if c > mx {
+			mx = c
+		}
+	}
+	return float64(mx) * float64(k) / float64(len(part))
+}
+
+// DiagonalDensity returns the fraction of edges that fall inside a part
+// (the "dense diagonal clusters" of the paper's Fig. 5b).
+func DiagonalDensity(g *graph.Graph, part []int32) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	return 1 - float64(EdgeCut(g, part))/float64(g.NumEdges())
+}

@@ -1,0 +1,202 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"torchgt/internal/graph"
+)
+
+func sbmGraph(t *testing.T, blocks, per int, seed int64) (*graph.Graph, []int32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sizes := make([]int, blocks)
+	for i := range sizes {
+		sizes[i] = per
+	}
+	g, b := graph.SBM(graph.SBMConfig{BlockSizes: sizes, AvgDegIn: 10, AvgDegOut: 0.5}, rng)
+	return g, b
+}
+
+func TestPartitionLabelsValid(t *testing.T) {
+	g, _ := sbmGraph(t, 4, 64, 1)
+	part := Partition(g, 4, 7)
+	if len(part) != g.N {
+		t.Fatal("length wrong")
+	}
+	for _, p := range part {
+		if p < 0 || p >= 4 {
+			t.Fatalf("part label out of range: %d", p)
+		}
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	g, _ := sbmGraph(t, 8, 64, 2)
+	part := Partition(g, 8, 3)
+	if b := Balance(part, 8); b > 1.3 {
+		t.Fatalf("imbalance too high: %v", b)
+	}
+}
+
+func TestPartitionRecoversPlantedClusters(t *testing.T) {
+	// strong planted structure: partitioner should cut far fewer edges than a
+	// random assignment.
+	g, _ := sbmGraph(t, 4, 128, 3)
+	part := Partition(g, 4, 11)
+	cut := EdgeCut(g, part)
+
+	rng := rand.New(rand.NewSource(5))
+	randPart := make([]int32, g.N)
+	for i := range randPart {
+		randPart[i] = int32(rng.Intn(4))
+	}
+	randCut := EdgeCut(g, randPart)
+	if cut*3 > randCut {
+		t.Fatalf("multilevel cut %d not much better than random cut %d", cut, randCut)
+	}
+	if DiagonalDensity(g, part) < 0.8 {
+		t.Fatalf("diagonal density %v too low for planted clusters", DiagonalDensity(g, part))
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g, _ := sbmGraph(t, 4, 64, 4)
+	a := Partition(g, 4, 9)
+	b := Partition(g, 4, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same partition")
+		}
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	g, _ := sbmGraph(t, 2, 16, 5)
+	// k=1: all zeros
+	for _, p := range Partition(g, 1, 1) {
+		if p != 0 {
+			t.Fatal("k=1 must map all to part 0")
+		}
+	}
+	// k >= N: round-robin labels in range
+	small := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}}, true)
+	part := Partition(small, 5, 1)
+	for _, p := range part {
+		if p < 0 || p >= 5 {
+			t.Fatal("label out of range for k>=N")
+		}
+	}
+	// empty graph
+	empty := graph.FromEdges(0, nil, false)
+	if len(Partition(empty, 4, 1)) != 0 {
+		t.Fatal("empty graph must give empty partition")
+	}
+}
+
+func TestClusterOrderContiguous(t *testing.T) {
+	part := []int32{2, 0, 1, 0, 2, 1}
+	perm, bounds := ClusterOrder(part, 3)
+	if len(bounds) != 4 || bounds[0] != 0 || bounds[3] != 6 {
+		t.Fatalf("bounds wrong: %v", bounds)
+	}
+	// every old node's new position must land inside its part's range
+	for old, p := range part {
+		np := perm[old]
+		if np < bounds[p] || np >= bounds[p+1] {
+			t.Fatalf("node %d (part %d) mapped to %d outside [%d,%d)", old, p, np, bounds[p], bounds[p+1])
+		}
+	}
+	// perm must be a permutation
+	seen := make([]bool, 6)
+	for _, v := range perm {
+		if seen[v] {
+			t.Fatal("duplicate in perm")
+		}
+		seen[v] = true
+	}
+}
+
+// Property: ClusterOrder output is always a valid permutation with
+// monotone bounds for random partitions.
+func TestClusterOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(8)
+		part := make([]int32, n)
+		for i := range part {
+			part[i] = int32(rng.Intn(k))
+		}
+		perm, bounds := ClusterOrder(part, k)
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		for i := 0; i < k; i++ {
+			if bounds[i] > bounds[i+1] {
+				return false
+			}
+		}
+		return int(bounds[k]) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReorderImprovesDiagonalDensity(t *testing.T) {
+	// After partition + reorder, edges should concentrate near the diagonal
+	// blocks of the reordered adjacency (the paper's Fig. 5(b) effect).
+	g, _ := sbmGraph(t, 8, 64, 6)
+	rng := rand.New(rand.NewSource(7))
+	shuffled := g.Permute(graph.ShuffledIDs(g.N, rng))
+
+	k := 8
+	part := Partition(shuffled, k, 13)
+	perm, bounds := ClusterOrder(part, k)
+	re := shuffled.Permute(perm)
+
+	// in the reordered graph, part of node i is its bucket by bounds
+	partOf := func(i int32) int32 {
+		for b := 0; b < k; b++ {
+			if i >= bounds[b] && i < bounds[b+1] {
+				return int32(b)
+			}
+		}
+		return -1
+	}
+	inside := 0
+	for u := 0; u < re.N; u++ {
+		for _, v := range re.Neighbors(u) {
+			if partOf(int32(u)) == partOf(v) {
+				inside++
+			}
+		}
+	}
+	frac := float64(inside) / float64(re.NumEdges())
+	if frac < 0.75 {
+		t.Fatalf("diagonal fraction %v too low after reorder", frac)
+	}
+}
+
+func TestEdgeCutAndBalanceBasics(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 1, V: 2}}, true)
+	part := []int32{0, 0, 1, 1}
+	if EdgeCut(g, part) != 2 { // edge 1-2 in both directions
+		t.Fatalf("cut=%d", EdgeCut(g, part))
+	}
+	if Balance(part, 2) != 1.0 {
+		t.Fatalf("balance=%v", Balance(part, 2))
+	}
+	if Balance([]int32{0, 0, 0, 1}, 2) != 1.5 {
+		t.Fatal("unbalanced case wrong")
+	}
+	if d := DiagonalDensity(g, part); d < 0.666 || d > 0.667 {
+		t.Fatalf("diag density=%v", d)
+	}
+}

@@ -1,0 +1,162 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndZero(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape %v len=%d", m, len(m.Data))
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("not zero-initialised")
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At=%v", m.At(1, 2))
+	}
+	if m.Row(1)[2] != 7 {
+		t.Fatal("Row view broken")
+	}
+	m.Row(0)[0] = 3
+	if m.At(0, 0) != 3 {
+		t.Fatal("Row must share storage")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("bad T shape %v", mt)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(7, 5)
+	RandN(m, rng, 1)
+	if !m.T().T().Equal(m, 0) {
+		t.Fatal("(Mᵀ)ᵀ != M")
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	m := FromSlice(4, 2, []float32{1, 2, 3, 4, 5, 6, 7, 8})
+	s := m.SliceRows(1, 3)
+	if s.Rows != 2 || s.At(0, 0) != 3 || s.At(1, 1) != 6 {
+		t.Fatalf("bad slice: %+v", s)
+	}
+	s.Set(0, 0, 99)
+	if m.At(1, 0) != 99 {
+		t.Fatal("SliceRows must be a view")
+	}
+}
+
+func TestSliceRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3, 3).SliceRows(2, 5)
+}
+
+func TestFromSlicePanicsOnBadLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float32{1, 2, 3})
+}
+
+func TestNormAndMaxAbs(t *testing.T) {
+	m := FromSlice(1, 2, []float32{3, -4})
+	if math.Abs(m.Norm()-5) > 1e-6 {
+		t.Fatalf("Norm=%v", m.Norm())
+	}
+	if m.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs=%v", m.MaxAbs())
+	}
+}
+
+func TestEqualTolerance(t *testing.T) {
+	a := FromSlice(1, 2, []float32{1, 2})
+	b := FromSlice(1, 2, []float32{1.0005, 2})
+	if !a.Equal(b, 1e-3) {
+		t.Fatal("should be equal within tol")
+	}
+	if a.Equal(b, 1e-5) {
+		t.Fatal("should differ at tight tol")
+	}
+	if a.Equal(New(2, 1), 1) {
+		t.Fatal("different shapes must not be equal")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if New(10, 10).Bytes() != 400 {
+		t.Fatal("Bytes wrong")
+	}
+}
+
+// Property: matrix addition commutes.
+func TestAddCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := New(4, 5), New(4, 5)
+		RandN(a, rng, 1)
+		RandN(b, rng, 1)
+		c1, c2 := New(4, 5), New(4, 5)
+		Add(c1, a, b)
+		Add(c2, b, a)
+		return c1.Equal(c2, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillAndZero(t *testing.T) {
+	m := New(2, 2)
+	m.Fill(3)
+	for _, v := range m.Data {
+		if v != 3 {
+			t.Fatal("Fill failed")
+		}
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}

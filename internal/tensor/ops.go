@@ -1,0 +1,231 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul computes C = A·B. C must be pre-allocated with shape A.Rows×B.Cols;
+// it is overwritten. The kernel is parallelised over rows of A and uses an
+// ikj loop order so the innermost loop streams rows of B.
+func MatMul(c, a, b *Mat) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	n, k := a.Rows, a.Cols
+	ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Row(i)
+			for x := range ci {
+				ci[x] = 0
+			}
+			ai := a.Row(i)
+			for p := 0; p < k; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b.Row(p)
+				axpy(av, bp, ci)
+			}
+		}
+	})
+}
+
+// MatMulT computes C = A·Bᵀ. C must be A.Rows×B.Rows. The innermost loop is a
+// dot product over contiguous rows of both A and B, which is the
+// cache-friendly orientation for attention scores Q·Kᵀ.
+func MatMulT(c, a, b *Mat) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT shapes %dx%d · (%dx%d)ᵀ -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	ParallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			ci := c.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				ci[j] = Dot(ai, b.Row(j))
+			}
+		}
+	})
+}
+
+// TMatMul computes C = Aᵀ·B. C must be A.Cols×B.Cols. Used for weight
+// gradients dW = Xᵀ·dY. Parallelised over columns of A (rows of C).
+func TMatMul(c, a, b *Mat) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: TMatMul shapes (%dx%d)ᵀ · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	ParallelFor(c.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Row(i)
+			for x := range ci {
+				ci[x] = 0
+			}
+			for p := 0; p < a.Rows; p++ {
+				av := a.Data[p*a.Cols+i]
+				if av == 0 {
+					continue
+				}
+				axpy(av, b.Row(p), ci)
+			}
+		}
+	})
+}
+
+// Dot returns the inner product of two equal-length slices.
+func Dot(a, b []float32) float32 {
+	var s float32
+	// 4-way unrolled; bounds already equal by construction.
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s += a[i]*b[i] + a[i+1]*b[i+1] + a[i+2]*b[i+2] + a[i+3]*b[i+3]
+	}
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// axpy computes y += alpha*x.
+func axpy(alpha float32, x, y []float32) {
+	n := len(y)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Axpy computes y += alpha*x for equal-length slices (exported for kernels).
+func Axpy(alpha float32, x, y []float32) { axpy(alpha, x, y) }
+
+// Add computes c = a + b element-wise (c may alias a or b).
+func Add(c, a, b *Mat) {
+	a.mustSameShape(b)
+	a.mustSameShape(c)
+	for i := range c.Data {
+		c.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// AddInPlace computes a += b.
+func AddInPlace(a, b *Mat) {
+	a.mustSameShape(b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// Sub computes c = a - b element-wise.
+func Sub(c, a, b *Mat) {
+	a.mustSameShape(b)
+	a.mustSameShape(c)
+	for i := range c.Data {
+		c.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func Scale(m *Mat, s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Hadamard computes c = a ⊙ b element-wise.
+func Hadamard(c, a, b *Mat) {
+	a.mustSameShape(b)
+	a.mustSameShape(c)
+	for i := range c.Data {
+		c.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// AddRowVec adds vector v (len = m.Cols) to every row of m.
+func AddRowVec(m *Mat, v []float32) {
+	if len(v) != m.Cols {
+		panic("tensor: AddRowVec length mismatch")
+	}
+	ParallelFor(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j := range row {
+				row[j] += v[j]
+			}
+		}
+	})
+}
+
+// ColSum accumulates the column sums of m into out (len = m.Cols), adding to
+// existing values.
+func ColSum(out []float32, m *Mat) {
+	if len(out) != m.Cols {
+		panic("tensor: ColSum length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row of m in place.
+func SoftmaxRows(m *Mat) {
+	ParallelFor(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			SoftmaxInPlace(m.Row(i))
+		}
+	})
+}
+
+// SoftmaxInPlace applies softmax to a single vector.
+func SoftmaxInPlace(row []float32) {
+	if len(row) == 0 {
+		return
+	}
+	mx := row[0]
+	for _, v := range row[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for j, v := range row {
+		e := float32(math.Exp(float64(v - mx)))
+		row[j] = e
+		sum += float64(e)
+	}
+	inv := float32(1.0 / sum)
+	for j := range row {
+		row[j] *= inv
+	}
+}
+
+// SoftmaxBackwardRow computes dx for one softmax row given y = softmax(x) and
+// upstream dy: dx_j = y_j * (dy_j - Σ_k dy_k y_k). Result written into dx.
+func SoftmaxBackwardRow(dx, y, dy []float32) {
+	var dot float32
+	for k := range y {
+		dot += dy[k] * y[k]
+	}
+	for j := range y {
+		dx[j] = y[j] * (dy[j] - dot)
+	}
+}
+
+// Apply sets m[i] = f(m[i]) for every element.
+func Apply(m *Mat, f func(float32) float32) {
+	ParallelFor(m.Rows, func(lo, hi int) {
+		for i := lo * m.Cols; i < hi*m.Cols; i++ {
+			m.Data[i] = f(m.Data[i])
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds kernel parallelism; it defaults to GOMAXPROCS and can be
+// lowered for deterministic single-threaded runs in tests.
+var (
+	workerMu   sync.RWMutex
+	maxWorkers = runtime.GOMAXPROCS(0)
+)
+
+// SetWorkers sets the number of goroutines used by parallel kernels.
+// n < 1 resets to GOMAXPROCS. It returns the previous value.
+func SetWorkers(n int) int {
+	workerMu.Lock()
+	defer workerMu.Unlock()
+	prev := maxWorkers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+	return prev
+}
+
+// Workers reports the current kernel parallelism.
+func Workers() int {
+	workerMu.RLock()
+	defer workerMu.RUnlock()
+	return maxWorkers
+}
+
+// ParallelFor splits [0, n) into contiguous chunks and runs body(lo, hi) on
+// each chunk concurrently. body must not panic. It is the single scheduling
+// primitive used by all kernels, mirroring a CUDA grid launch.
+func ParallelFor(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,29 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandN fills m with N(0, std²) samples from rng.
+func RandN(m *Mat, rng *rand.Rand, std float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// XavierInit fills m with Xavier/Glorot uniform samples appropriate for a
+// fanIn×fanOut weight matrix.
+func XavierInit(m *Mat, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = float32((rng.Float64()*2 - 1) * limit)
+	}
+}
+
+// RandUniform fills m with Uniform[lo, hi) samples.
+func RandUniform(m *Mat, rng *rand.Rand, lo, hi float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+}

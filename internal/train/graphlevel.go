@@ -1,0 +1,217 @@
+package train
+
+import (
+	"time"
+
+	"torchgt/internal/attention"
+	"torchgt/internal/encoding"
+	"torchgt/internal/graph"
+	"torchgt/internal/model"
+	"torchgt/internal/nn"
+	"torchgt/internal/sparse"
+	"torchgt/internal/tensor"
+)
+
+// GraphConfig configures graph-level training (classification/regression
+// over many small graphs with a global readout token).
+type GraphConfig struct {
+	Method    Method
+	Epochs    int
+	LR        float64
+	BatchSize int
+	Interval  int
+	// DenseBiasMaxN caps the graph size for which the O(N²) dense SPD bias
+	// is built (Graphormer's full bias); larger graphs fall back to no dense
+	// bias, exactly like GP-Flash must.
+	DenseBiasMaxN int
+	Seed          int64
+}
+
+func (c GraphConfig) withDefaults() GraphConfig {
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.Interval == 0 {
+		c.Interval = 8
+	}
+	if c.DenseBiasMaxN == 0 {
+		c.DenseBiasMaxN = 256
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	return c
+}
+
+// graphEntry caches per-graph precomputation.
+type graphEntry struct {
+	inputs       *model.Inputs
+	pattern      *sparse.Pattern // with global token
+	edgeBuckets  []int32
+	denseBuckets [][]int32 // SPD buckets incl. global token, nil when too big
+	policy       *attention.InterleavePolicy
+}
+
+// GraphTrainer trains on a GraphDataset.
+type GraphTrainer struct {
+	Cfg        GraphConfig
+	Model      *model.GraphTransformer
+	DS         *graph.GraphDataset
+	entries    []*graphEntry
+	preprocess time.Duration
+}
+
+// NewGraphTrainer precomputes patterns, SPD tables and interleave policies
+// for every graph (the paper's pre-processing stage).
+func NewGraphTrainer(cfg GraphConfig, modelCfg model.Config, ds *graph.GraphDataset) *GraphTrainer {
+	cfg = cfg.withDefaults()
+	modelCfg.GlobalToken = true
+	t0 := time.Now()
+	tr := &GraphTrainer{Cfg: cfg, DS: ds}
+	rng := newRand(cfg.Seed)
+	for gi, g := range ds.Graphs {
+		e := &graphEntry{}
+		degIn, degOut := encoding.DegreeBuckets(g, 63)
+		e.inputs = &model.Inputs{X: ds.Feats[gi], DegInIdx: degIn, DegOutIdx: degOut}
+		if modelCfg.UseLapPE {
+			e.inputs.LapPE = encoding.LaplacianPE(g, modelCfg.LapDim, 20, rng)
+		}
+		e.pattern = sparse.FromGraph(g).WithGlobalToken()
+		e.edgeBuckets = edgeBucketsFor(e.pattern, true, 2)
+		if g.N <= cfg.DenseBiasMaxN {
+			spd := encoding.ComputeSPD(g, 5) // buckets 0..6
+			s := g.N + 1
+			db := make([][]int32, s)
+			for i := 0; i < s; i++ {
+				db[i] = make([]int32, s)
+				for j := 0; j < s; j++ {
+					switch {
+					case i == 0 || j == 0:
+						db[i][j] = 7 // global-token bucket
+					default:
+						db[i][j] = spd.Dist[i-1][j-1]
+					}
+				}
+			}
+			e.denseBuckets = db
+		}
+		e.policy = attention.NewInterleavePolicy(g, modelCfg.Layers, cfg.Interval)
+		tr.entries = append(tr.entries, e)
+	}
+	tr.preprocess = time.Since(t0)
+	tr.Model = model.NewGraphTransformer(modelCfg)
+	return tr
+}
+
+// specFor builds a per-graph attention spec for one step.
+func (tr *GraphTrainer) specFor(gi, step int) *model.AttentionSpec {
+	e := tr.entries[gi]
+	switch tr.Cfg.Method {
+	case GPRaw:
+		return &model.AttentionSpec{Mode: model.ModeDense, DenseBuckets: e.denseBuckets}
+	case GPFlash:
+		return &model.AttentionSpec{Mode: model.ModeFlash}
+	case GPSparse:
+		return &model.AttentionSpec{Mode: model.ModeSparse, Pattern: e.pattern, EdgeBuckets: e.edgeBuckets}
+	case NodeFormerKernel:
+		return &model.AttentionSpec{Mode: model.ModeKernelized}
+	case TorchGT, TorchGTBF16:
+		bf16 := tr.Cfg.Method == TorchGTBF16
+		if !e.policy.UseSparse(step) {
+			// dense overlay step: full attention with bias when affordable
+			return &model.AttentionSpec{Mode: model.ModeDense, DenseBuckets: e.denseBuckets, BF16: bf16}
+		}
+		return &model.AttentionSpec{Mode: model.ModeSparse, Pattern: e.pattern, EdgeBuckets: e.edgeBuckets, BF16: bf16}
+	}
+	panic("train: unhandled method")
+}
+
+// lossFor computes the task loss/gradient for graph gi.
+func (tr *GraphTrainer) lossFor(gi int, logits *tensor.Mat) (float64, *tensor.Mat) {
+	if tr.DS.Task == graph.GraphRegression {
+		return nn.MSE(logits, []float32{tr.DS.Targets[gi]})
+	}
+	return nn.SoftmaxCrossEntropy(logits, []int32{tr.DS.Labels[gi]}, nil)
+}
+
+// Run trains and returns the result; TestAcc holds accuracy for
+// classification and (1 − MAE, floored at 0) is NOT used — for regression
+// the Curve's Loss is the train MSE and Result.FinalMAE is set.
+func (tr *GraphTrainer) Run() *Result {
+	opt := nn.NewAdam(tr.Cfg.LR)
+	opt.ClipNorm = 5
+	params := tr.Model.Params()
+	rng := newRand(tr.Cfg.Seed + 17)
+	var curve []Point
+	step := 0
+	for ep := 0; ep < tr.Cfg.Epochs; ep++ {
+		t0 := time.Now()
+		order := rng.Perm(len(tr.DS.TrainIdx))
+		var epLoss float64
+		var pairs int64
+		count := 0
+		for bi, oi := range order {
+			gi := tr.DS.TrainIdx[oi]
+			spec := tr.specFor(gi, step)
+			logits := tr.Model.Forward(tr.entries[gi].inputs, spec, true)
+			l, dl := tr.lossFor(gi, logits)
+			tr.Model.Backward(dl)
+			pairs += tr.Model.Pairs()
+			epLoss += l
+			count++
+			if (bi+1)%tr.Cfg.BatchSize == 0 || bi == len(order)-1 {
+				opt.Step(params)
+				step++
+			}
+		}
+		dt := time.Since(t0)
+		curve = append(curve, Point{
+			Epoch: ep, Loss: epLoss / float64(count),
+			TestAcc: tr.evaluate(tr.DS.TestIdx), EpochTime: dt, Pairs: pairs,
+		})
+	}
+	res := summarise(tr.Cfg.Method, curve, tr.preprocess)
+	res.FinalTestAcc = tr.evaluate(tr.DS.TestIdx)
+	if res.FinalTestAcc > res.BestTestAcc {
+		res.BestTestAcc = res.FinalTestAcc
+	}
+	return res
+}
+
+// evaluate returns accuracy for classification or negative MAE for
+// regression (so that "higher is better" holds uniformly for Result fields).
+func (tr *GraphTrainer) evaluate(idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	if tr.DS.Task == graph.GraphRegression {
+		preds := tensor.New(len(idx), 1)
+		targets := make([]float32, len(idx))
+		for x, gi := range idx {
+			spec := tr.specFor(gi, 1) // sparse step for eval
+			logits := tr.Model.Forward(tr.entries[gi].inputs, spec, false)
+			preds.Set(x, 0, logits.At(0, 0))
+			targets[x] = tr.DS.Targets[gi]
+		}
+		return -nn.MAE(preds, targets)
+	}
+	correct := 0
+	for _, gi := range idx {
+		spec := tr.specFor(gi, 1)
+		logits := tr.Model.Forward(tr.entries[gi].inputs, spec, false)
+		best := 0
+		row := logits.Row(0)
+		for j := 1; j < len(row); j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		if int32(best) == tr.DS.Labels[gi] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(idx))
+}
+
+// EvalMAE returns the test MAE for regression datasets (convenience).
+func (tr *GraphTrainer) EvalMAE() float64 { return -tr.evaluate(tr.DS.TestIdx) }

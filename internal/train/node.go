@@ -1,0 +1,246 @@
+package train
+
+import (
+	"time"
+
+	"torchgt/internal/attention"
+	"torchgt/internal/encoding"
+	"torchgt/internal/graph"
+	"torchgt/internal/model"
+	"torchgt/internal/nn"
+	"torchgt/internal/partition"
+	"torchgt/internal/sparse"
+	"torchgt/internal/tensor"
+)
+
+// Point is one epoch of a convergence curve.
+type Point struct {
+	Epoch     int
+	Loss      float64
+	TestAcc   float64
+	ValAcc    float64
+	EpochTime time.Duration
+	Beta      float64 // βthre in effect (TorchGT only)
+	Pairs     int64   // attended pairs this epoch (compute proxy)
+}
+
+// Result summarises a training run.
+type Result struct {
+	Method         Method
+	Curve          []Point
+	FinalTestAcc   float64
+	BestTestAcc    float64
+	AvgEpochTime   time.Duration
+	PreprocessTime time.Duration
+	TotalPairs     int64
+}
+
+func summarise(method Method, curve []Point, preprocess time.Duration) *Result {
+	r := &Result{Method: method, Curve: curve, PreprocessTime: preprocess}
+	var tot time.Duration
+	for _, p := range curve {
+		tot += p.EpochTime
+		r.TotalPairs += p.Pairs
+		if p.TestAcc > r.BestTestAcc {
+			r.BestTestAcc = p.TestAcc
+		}
+	}
+	if len(curve) > 0 {
+		r.AvgEpochTime = tot / time.Duration(len(curve))
+		r.FinalTestAcc = curve[len(curve)-1].TestAcc
+	}
+	return r
+}
+
+// NodeConfig configures node-level training.
+type NodeConfig struct {
+	Method   Method
+	Epochs   int
+	LR       float64
+	Interval int // dual-interleave period (default 8)
+	ClusterK int // cluster dimensionality k (default 8)
+	Db       int // sub-block dimension (default 16)
+	// FixedBeta pins βthre (≥0) instead of the Auto Tuner; -1 enables tuning.
+	FixedBeta float64
+	// Warmup enables a linear-warmup + polynomial-decay LR schedule over the
+	// run when > 0 (warmup epochs); 0 keeps a constant LR.
+	Warmup int
+	Seed   int64
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.Interval == 0 {
+		c.Interval = 8
+	}
+	if c.ClusterK == 0 {
+		c.ClusterK = 8
+	}
+	if c.Db == 0 {
+		c.Db = 16
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	return c
+}
+
+// NodeTrainer trains a graph transformer for node classification on one
+// large graph (full-graph sequence).
+type NodeTrainer struct {
+	Cfg   NodeConfig
+	Model *model.GraphTransformer
+	DS    *graph.NodeDataset // reordered copy when method is TorchGT
+
+	inputs  *model.Inputs
+	pattern *sparse.Pattern
+	buckets []int32
+	layout  *sparse.ClusterLayout
+	policy  *attention.InterleavePolicy
+	tuner   *AutoTuner
+
+	reformCache map[float64]*reformEntry
+	preprocess  time.Duration
+}
+
+type reformEntry struct {
+	r           *sparse.Reformed
+	keepBuckets []int32
+}
+
+// NewNodeTrainer prepares a trainer: for TorchGT methods this performs the
+// paper's pre-processing (partition, cluster reorder, pattern construction,
+// condition checks) and records its cost.
+func NewNodeTrainer(cfg NodeConfig, modelCfg model.Config, ds *graph.NodeDataset) *NodeTrainer {
+	cfg = cfg.withDefaults()
+	t0 := time.Now()
+	tr := &NodeTrainer{Cfg: cfg, DS: ds, reformCache: map[float64]*reformEntry{}}
+
+	usesTorchGT := cfg.Method == TorchGT || cfg.Method == TorchGTBF16
+	if usesTorchGT {
+		part := partition.Partition(ds.G, cfg.ClusterK, cfg.Seed)
+		perm, bounds := partition.ClusterOrder(part, cfg.ClusterK)
+		tr.DS = reorderDataset(ds, perm)
+		tr.pattern = sparse.FromGraph(tr.DS.G)
+		tr.buckets = edgeBucketsFor(tr.pattern, false, 0)
+		var err error
+		tr.layout, err = sparse.NewClusterLayout(tr.pattern, bounds)
+		if err != nil {
+			panic(err)
+		}
+		tr.policy = attention.NewInterleavePolicy(tr.DS.G, modelCfg.Layers, cfg.Interval)
+		if cfg.FixedBeta < 0 {
+			tr.tuner = NewAutoTuner(tr.DS.G.Sparsity())
+		}
+	} else if cfg.Method == GPSparse {
+		tr.pattern = sparse.FromGraph(ds.G)
+		tr.buckets = edgeBucketsFor(tr.pattern, false, 0)
+	}
+	tr.preprocess = time.Since(t0)
+
+	tr.Model = model.NewGraphTransformer(modelCfg)
+	degIn, degOut := encoding.DegreeBuckets(tr.DS.G, 63)
+	tr.inputs = &model.Inputs{X: tr.DS.X, DegInIdx: degIn, DegOutIdx: degOut}
+	if modelCfg.UseLapPE {
+		rng := newRand(cfg.Seed)
+		tr.inputs.LapPE = encoding.LaplacianPE(tr.DS.G, modelCfg.LapDim, 30, rng)
+	}
+	return tr
+}
+
+// reorderDataset applies a node permutation to every per-node array.
+func reorderDataset(ds *graph.NodeDataset, perm []int32) *graph.NodeDataset {
+	n := ds.G.N
+	out := &graph.NodeDataset{
+		Name: ds.Name, G: ds.G.Permute(perm), NumClasses: ds.NumClasses,
+		Blocks: make([]int32, n), Y: make([]int32, n),
+		TrainMask: make([]bool, n), ValMask: make([]bool, n), TestMask: make([]bool, n),
+		X: tensor.New(n, ds.X.Cols),
+	}
+	for old := 0; old < n; old++ {
+		nw := perm[old]
+		out.Blocks[nw] = ds.Blocks[old]
+		out.Y[nw] = ds.Y[old]
+		out.TrainMask[nw] = ds.TrainMask[old]
+		out.ValMask[nw] = ds.ValMask[old]
+		out.TestMask[nw] = ds.TestMask[old]
+		copy(out.X.Row(int(nw)), ds.X.Row(old))
+	}
+	return out
+}
+
+// specFor builds the attention spec for one epoch.
+func (tr *NodeTrainer) specFor(epoch int) *model.AttentionSpec {
+	beta := tr.Cfg.FixedBeta
+	if tr.tuner != nil {
+		beta = tr.tuner.Beta()
+	}
+	switch tr.Cfg.Method {
+	case GPRaw:
+		return &model.AttentionSpec{Mode: model.ModeDense}
+	case GPFlash:
+		return &model.AttentionSpec{Mode: model.ModeFlash}
+	case GPSparse:
+		return &model.AttentionSpec{Mode: model.ModeSparse, Pattern: tr.pattern, EdgeBuckets: tr.buckets}
+	case NodeFormerKernel:
+		return &model.AttentionSpec{Mode: model.ModeKernelized}
+	case TorchGT, TorchGTBF16:
+		bf16 := tr.Cfg.Method == TorchGTBF16
+		if !tr.policy.UseSparse(epoch) {
+			// dense interleave step: full attention via the flash kernel
+			return &model.AttentionSpec{Mode: model.ModeFlash, BF16: bf16}
+		}
+		entry, ok := tr.reformCache[beta]
+		if !ok {
+			r := sparse.Reform(tr.layout, tr.Cfg.Db, beta)
+			entry = &reformEntry{r: r, keepBuckets: edgeBucketsFor(r.Keep, false, 0)}
+			tr.reformCache[beta] = entry
+		}
+		return &model.AttentionSpec{
+			Mode: model.ModeClusterSparse, Reformed: entry.r,
+			KeepBuckets: entry.keepBuckets, BF16: bf16,
+		}
+	}
+	panic("train: unhandled method")
+}
+
+// Run trains for the configured number of epochs and returns the result.
+func (tr *NodeTrainer) Run() *Result {
+	opt := nn.NewAdam(tr.Cfg.LR)
+	opt.ClipNorm = 5
+	var sched nn.LRScheduler = nn.ConstantLR{Base: tr.Cfg.LR}
+	if tr.Cfg.Warmup > 0 {
+		sched = nn.WarmupPoly{Peak: tr.Cfg.LR, Warmup: tr.Cfg.Warmup, Total: tr.Cfg.Epochs, Power: 1}
+	}
+	params := tr.Model.Params()
+	var curve []Point
+	for ep := 0; ep < tr.Cfg.Epochs; ep++ {
+		spec := tr.specFor(ep)
+		t0 := time.Now()
+		logits := tr.Model.Forward(tr.inputs, spec, true)
+		loss, dl := nn.SoftmaxCrossEntropy(logits, tr.DS.Y, tr.DS.TrainMask)
+		tr.Model.Backward(dl)
+		pairs := tr.Model.Pairs()
+		nn.StepWith(opt, sched, ep, params)
+		dt := time.Since(t0)
+
+		testAcc := nn.Accuracy(logits, tr.DS.Y, tr.DS.TestMask)
+		valAcc := nn.Accuracy(logits, tr.DS.Y, tr.DS.ValMask)
+		beta := tr.Cfg.FixedBeta
+		if tr.tuner != nil {
+			beta = tr.tuner.Observe(loss, dt.Seconds())
+		}
+		curve = append(curve, Point{
+			Epoch: ep, Loss: loss, TestAcc: testAcc, ValAcc: valAcc,
+			EpochTime: dt, Beta: beta, Pairs: pairs,
+		})
+	}
+	res := summarise(tr.Cfg.Method, curve, tr.preprocess)
+	// clean evaluation pass (no dropout) for the headline accuracy
+	spec := tr.specFor(tr.Cfg.Epochs)
+	logits := tr.Model.Forward(tr.inputs, spec, false)
+	res.FinalTestAcc = nn.Accuracy(logits, tr.DS.Y, tr.DS.TestMask)
+	if res.FinalTestAcc > res.BestTestAcc {
+		res.BestTestAcc = res.FinalTestAcc
+	}
+	return res
+}

@@ -1,0 +1,198 @@
+package train
+
+import (
+	"time"
+
+	"torchgt/internal/encoding"
+	"torchgt/internal/graph"
+	"torchgt/internal/model"
+	"torchgt/internal/nn"
+	"torchgt/internal/sparse"
+	"torchgt/internal/tensor"
+)
+
+// EgoConfig configures ego-graph sampled training — the Gophormer/NAGphormer
+// family the paper groups under "sampling or pooling methods that select a
+// subset of nodes per iteration" (issue I2): each training example is one
+// target node plus a capped-size sampled neighbourhood, so connectivity
+// outside the ego-graph is dropped. The paper's claim — that this sacrifices
+// accuracy against long-sequence training — is reproduced by the
+// ablation-sampling experiment.
+type EgoConfig struct {
+	Epochs  int
+	LR      float64
+	Hops    int // neighbourhood radius (default 2)
+	MaxSize int // max ego-graph size incl. target (default 32)
+	Batch   int // targets per optimiser step (default 32)
+	Seed    int64
+}
+
+func (c EgoConfig) withDefaults() EgoConfig {
+	if c.Hops == 0 {
+		c.Hops = 2
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 32
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	return c
+}
+
+// EgoTrainer trains node classification from sampled ego-graphs.
+type EgoTrainer struct {
+	Cfg   EgoConfig
+	Model *model.GraphTransformer
+	DS    *graph.NodeDataset
+}
+
+// NewEgoTrainer builds the trainer; the model is used with a global-token
+// head reading out the (position-0) target node.
+func NewEgoTrainer(cfg EgoConfig, modelCfg model.Config, ds *graph.NodeDataset) *EgoTrainer {
+	cfg = cfg.withDefaults()
+	modelCfg.GlobalToken = false
+	return &EgoTrainer{Cfg: cfg, Model: model.NewGraphTransformer(modelCfg), DS: ds}
+}
+
+// sampleEgo collects ≤MaxSize nodes around target by truncated BFS with
+// per-hop random down-sampling; target is always position 0.
+func (tr *EgoTrainer) sampleEgo(target int32, rng interface{ Intn(int) int }) []int32 {
+	seen := map[int32]bool{target: true}
+	nodes := []int32{target}
+	frontier := []int32{target}
+	for hop := 0; hop < tr.Cfg.Hops && len(nodes) < tr.Cfg.MaxSize; hop++ {
+		var next []int32
+		for _, u := range frontier {
+			adj := tr.DS.G.Neighbors(int(u))
+			// random order over neighbours
+			order := make([]int, len(adj))
+			for i := range order {
+				order[i] = i
+			}
+			for i := len(order) - 1; i > 0; i-- {
+				j := rng.Intn(i + 1)
+				order[i], order[j] = order[j], order[i]
+			}
+			for _, oi := range order {
+				v := adj[oi]
+				if seen[v] || len(nodes) >= tr.Cfg.MaxSize {
+					continue
+				}
+				seen[v] = true
+				nodes = append(nodes, v)
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return nodes
+}
+
+// step trains on one batch of targets and returns the summed loss.
+func (tr *EgoTrainer) step(targets []int32, opt *nn.Adam, rng interface{ Intn(int) int }) float64 {
+	var total float64
+	for _, tgt := range targets {
+		nodes := tr.sampleEgo(tgt, rng)
+		sub := tr.DS.G.InducedSubgraph(nodes)
+		x := tensor.New(len(nodes), tr.DS.X.Cols)
+		for i, v := range nodes {
+			copy(x.Row(i), tr.DS.X.Row(int(v)))
+		}
+		degIn, degOut := encoding.DegreeBuckets(sub, 63)
+		in := &model.Inputs{X: x, DegInIdx: degIn, DegOutIdx: degOut}
+		p := sparse.FromGraph(sub)
+		spec := &model.AttentionSpec{Mode: model.ModeSparse, Pattern: p, EdgeBuckets: edgeBucketsFor(p, false, 0)}
+		logits := tr.Model.Forward(in, spec, true)
+		// loss on the target node (row 0) only
+		mask := make([]bool, len(nodes))
+		mask[0] = true
+		labels := make([]int32, len(nodes))
+		labels[0] = tr.DS.Y[tgt]
+		l, dl := nn.SoftmaxCrossEntropy(logits, labels, mask)
+		tr.Model.Backward(dl)
+		total += l
+	}
+	opt.Step(tr.Model.Params())
+	return total
+}
+
+// Run trains over all train-mask targets each epoch and evaluates on a
+// sample of test nodes.
+func (tr *EgoTrainer) Run() *Result {
+	opt := nn.NewAdam(tr.Cfg.LR)
+	opt.ClipNorm = 5
+	rng := newRand(tr.Cfg.Seed)
+	var trainIdx, testIdx []int32
+	for i := range tr.DS.Y {
+		if tr.DS.TrainMask[i] {
+			trainIdx = append(trainIdx, int32(i))
+		} else if tr.DS.TestMask[i] {
+			testIdx = append(testIdx, int32(i))
+		}
+	}
+	var curve []Point
+	for ep := 0; ep < tr.Cfg.Epochs; ep++ {
+		t0 := time.Now()
+		rng.Shuffle(len(trainIdx), func(i, j int) { trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i] })
+		var epLoss float64
+		steps := 0
+		for lo := 0; lo < len(trainIdx); lo += tr.Cfg.Batch {
+			hi := lo + tr.Cfg.Batch
+			if hi > len(trainIdx) {
+				hi = len(trainIdx)
+			}
+			epLoss += tr.step(trainIdx[lo:hi], opt, rng)
+			steps++
+		}
+		curve = append(curve, Point{
+			Epoch: ep, Loss: epLoss / float64(len(trainIdx)),
+			TestAcc: tr.evalSample(testIdx, 200, rng), EpochTime: time.Since(t0),
+		})
+	}
+	res := summarise(GPSparse, curve, 0)
+	res.FinalTestAcc = tr.evalSample(testIdx, 400, rng)
+	if res.FinalTestAcc > res.BestTestAcc {
+		res.BestTestAcc = res.FinalTestAcc
+	}
+	return res
+}
+
+// evalSample classifies up to n test targets via their ego-graphs.
+func (tr *EgoTrainer) evalSample(testIdx []int32, n int, rng interface{ Intn(int) int }) float64 {
+	if len(testIdx) == 0 {
+		return 0
+	}
+	if n > len(testIdx) {
+		n = len(testIdx)
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		tgt := testIdx[rng.Intn(len(testIdx))]
+		nodes := tr.sampleEgo(tgt, rng)
+		sub := tr.DS.G.InducedSubgraph(nodes)
+		x := tensor.New(len(nodes), tr.DS.X.Cols)
+		for j, v := range nodes {
+			copy(x.Row(j), tr.DS.X.Row(int(v)))
+		}
+		degIn, degOut := encoding.DegreeBuckets(sub, 63)
+		in := &model.Inputs{X: x, DegInIdx: degIn, DegOutIdx: degOut}
+		p := sparse.FromGraph(sub)
+		spec := &model.AttentionSpec{Mode: model.ModeSparse, Pattern: p, EdgeBuckets: edgeBucketsFor(p, false, 0)}
+		logits := tr.Model.Forward(in, spec, false)
+		row := logits.Row(0)
+		best := 0
+		for j := 1; j < len(row); j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		if int32(best) == tr.DS.Y[tgt] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

@@ -1,0 +1,44 @@
+package torchgt
+
+import (
+	"torchgt/internal/graph"
+	"torchgt/internal/nn"
+	"torchgt/internal/train"
+)
+
+// SaveModel writes a model's parameters to a checkpoint file.
+func SaveModel(path string, m *GraphTransformer) error {
+	return nn.SaveCheckpoint(path, m)
+}
+
+// LoadModel restores parameters into a model built from the same
+// configuration.
+func LoadModel(path string, m *GraphTransformer) error {
+	return nn.LoadCheckpoint(path, m)
+}
+
+// SaveNodeDataset serialises a node dataset to a binary file for reuse (or
+// for converted real-world data).
+func SaveNodeDataset(path string, ds *NodeDataset) error {
+	return graph.SaveNodeDataset(path, ds)
+}
+
+// LoadNodeDatasetFile reads a dataset written by SaveNodeDataset.
+func LoadNodeDatasetFile(path string) (*NodeDataset, error) {
+	return graph.LoadNodeDatasetFile(path)
+}
+
+// TrainNodeEgo trains node classification with ego-graph sampling (the
+// Gophormer/NAGphormer baseline family the paper contrasts with
+// long-sequence training in §II-C). opts.SeqLen bounds the ego-graph size.
+func TrainNodeEgo(cfg ModelConfig, ds *NodeDataset, opts TrainOptions) (*Result, error) {
+	maxSize := opts.SeqLen
+	if maxSize <= 0 {
+		maxSize = 32
+	}
+	tr := train.NewEgoTrainer(train.EgoConfig{
+		Epochs: opts.epochs(), LR: opts.LR, MaxSize: maxSize,
+		Batch: opts.BatchSize, Seed: opts.Seed,
+	}, cfg, ds)
+	return tr.Run(), nil
+}

@@ -1,0 +1,48 @@
+package torchgt
+
+import (
+	"torchgt/internal/encoding"
+	"torchgt/internal/graph"
+	"torchgt/internal/model"
+	"torchgt/internal/sparse"
+)
+
+// AttentionSpec selects the attention kernel for custom training loops and
+// the distributed trainer.
+type AttentionSpec = model.AttentionSpec
+
+// Pattern is a sparse attention pattern over token positions.
+type Pattern = sparse.Pattern
+
+type patternAlias = Pattern
+
+// patternFrom builds the self-loop-augmented topology pattern of a graph.
+func patternFrom(g *graph.Graph) *Pattern { return sparse.FromGraph(g) }
+
+// Attention modes for AttentionSpec.
+const (
+	ModeDense         = model.ModeDense
+	ModeFlash         = model.ModeFlash
+	ModeFlashBF16     = model.ModeFlashBF16
+	ModeSparse        = model.ModeSparse
+	ModeClusterSparse = model.ModeClusterSparse
+	ModeKernelized    = model.ModeKernelized
+)
+
+// Inputs carries model inputs (features + encodings) for custom loops.
+type Inputs = model.Inputs
+
+// GraphTransformer is the shared Graphormer/GT architecture.
+type GraphTransformer = model.GraphTransformer
+
+// NewGraphTransformer instantiates a model from a configuration.
+func NewGraphTransformer(cfg ModelConfig) *GraphTransformer {
+	return model.NewGraphTransformer(cfg)
+}
+
+// NodeInputs assembles model inputs (features + degree-bucket encodings) for
+// a node dataset, for use with custom loops and the distributed trainer.
+func NodeInputs(ds *NodeDataset) *Inputs {
+	degIn, degOut := encoding.DegreeBuckets(ds.G, encoding.MaxDegreeBucket)
+	return &Inputs{X: ds.X, DegInIdx: degIn, DegOutIdx: degOut}
+}

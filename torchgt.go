@@ -1,0 +1,218 @@
+// Package torchgt is the public API of TorchGT-Go, a from-scratch Go
+// reproduction of "TorchGT: A Holistic System for Large-Scale Graph
+// Transformer Training" (SC 2024). It exposes synthetic dataset loading,
+// graph transformer model construction (Graphormer, GT, NodeFormer-lite and
+// GNN baselines), single-node and simulated-distributed training with the
+// paper's methods (GP-Raw, GP-Flash, GP-Sparse, TorchGT), and the experiment
+// harness that regenerates every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	ds, _ := torchgt.LoadNodeDataset("arxiv-sim", 2048, 1)
+//	cfg := torchgt.GraphormerSlim(ds.X.Cols, ds.NumClasses, 1)
+//	res, _ := torchgt.TrainNode(torchgt.MethodTorchGT, cfg, ds, torchgt.TrainOptions{Epochs: 20})
+//	fmt.Println(res.FinalTestAcc)
+package torchgt
+
+import (
+	"fmt"
+	"io"
+
+	"torchgt/internal/bench"
+	"torchgt/internal/dist"
+	"torchgt/internal/graph"
+	"torchgt/internal/model"
+	"torchgt/internal/train"
+)
+
+// Re-exported core types. These are aliases, so values flow freely between
+// the public API and the internal packages.
+type (
+	// Graph is a CSR graph.
+	Graph = graph.Graph
+	// NodeDataset is a node-classification dataset over one large graph.
+	NodeDataset = graph.NodeDataset
+	// GraphDataset is a set of small graphs with graph-level targets.
+	GraphDataset = graph.GraphDataset
+	// ModelConfig describes a graph transformer instance.
+	ModelConfig = model.Config
+	// Result summarises a training run (curve, accuracy, timings).
+	Result = train.Result
+	// Point is one epoch of a convergence curve.
+	Point = train.Point
+	// Method selects the training system (GP-Raw … TorchGT).
+	Method = train.Method
+	// HardwareProfile is an analytic testbed model for simulations.
+	HardwareProfile = dist.HardwareProfile
+)
+
+// Training methods from the paper's evaluation.
+const (
+	MethodGPRaw      = train.GPRaw
+	MethodGPFlash    = train.GPFlash
+	MethodGPSparse   = train.GPSparse
+	MethodTorchGT    = train.TorchGT
+	MethodTorchGTBF6 = train.TorchGTBF16
+	MethodNodeFormer = train.NodeFormerKernel
+)
+
+// Hardware profiles of the paper's two testbeds.
+var (
+	RTX3090Cluster = dist.RTX3090
+	A100Cluster    = dist.A100
+)
+
+// ParseMethod converts a CLI name ("torchgt", "gp-flash", …) to a Method.
+func ParseMethod(s string) (Method, error) { return train.ParseMethod(s) }
+
+// NodeDatasetNames lists the available synthetic node-level datasets.
+func NodeDatasetNames() []string { return graph.NodeDatasetNames() }
+
+// GraphDatasetNames lists the available synthetic graph-level datasets.
+func GraphDatasetNames() []string { return graph.GraphLevelDatasetNames() }
+
+// LoadNodeDataset builds a synthetic node-level dataset; numNodes = 0 keeps
+// the preset size (see DESIGN.md for the Table III mapping).
+func LoadNodeDataset(name string, numNodes int, seed int64) (*NodeDataset, error) {
+	return graph.LoadNodeScaled(name, numNodes, seed)
+}
+
+// LoadGraphDataset builds a synthetic graph-level dataset (zinc-sim,
+// molpcba-sim, malnet-sim).
+func LoadGraphDataset(name string, seed int64) (*GraphDataset, error) {
+	return graph.LoadGraphLevel(name, seed)
+}
+
+// Model presets (Table IV).
+var (
+	// GraphormerSlim is GPH-Slim: 4 layers, hidden 64, 8 heads.
+	GraphormerSlim = model.GraphormerSlim
+	// GraphormerLarge is GPH-Large: 12 layers, hidden 768, 32 heads.
+	GraphormerLarge = model.GraphormerLarge
+	// GraphormerLargeScaled shrinks GPH-Large by an integer factor for CPU runs.
+	GraphormerLargeScaled = model.GraphormerLargeScaled
+	// GT is the Dwivedi–Bresson graph transformer: 4 layers, hidden 128.
+	GT = model.GTConfig
+	// NodeFormerLite is a linear-attention transformer configuration.
+	NodeFormerLite = model.NodeFormerLite
+)
+
+// TrainOptions tunes a training run; zero values pick sensible defaults.
+type TrainOptions struct {
+	Epochs    int
+	LR        float64
+	Seed      int64
+	Interval  int     // dual-interleave period (TorchGT)
+	ClusterK  int     // cluster dimensionality k (TorchGT)
+	Db        int     // sub-block size (TorchGT)
+	FixedBeta float64 // pin βthre; <0 (default via UseAutoTuner) enables the Auto Tuner
+	// UseFixedBeta interprets FixedBeta (otherwise the Auto Tuner runs).
+	UseFixedBeta bool
+	BatchSize    int // graph-level batch
+	SeqLen       int // mini-batched node-level sequence length
+}
+
+func (o TrainOptions) epochs() int {
+	if o.Epochs <= 0 {
+		return 20
+	}
+	return o.Epochs
+}
+
+func (o TrainOptions) beta() float64 {
+	if o.UseFixedBeta {
+		return o.FixedBeta
+	}
+	return -1
+}
+
+// TrainNode trains a graph transformer for node classification with the
+// given method over the full graph sequence.
+func TrainNode(method Method, cfg ModelConfig, ds *NodeDataset, opts TrainOptions) (*Result, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("torchgt: nil dataset")
+	}
+	tr := train.NewNodeTrainer(train.NodeConfig{
+		Method: method, Epochs: opts.epochs(), LR: opts.LR,
+		Interval: opts.Interval, ClusterK: opts.ClusterK, Db: opts.Db,
+		FixedBeta: opts.beta(), Seed: opts.Seed,
+	}, cfg, ds)
+	return tr.Run(), nil
+}
+
+// TrainGraphLevel trains on a graph-level dataset (classification or
+// regression). For regression, Result accuracies hold −MAE; use the returned
+// MAE for the headline metric.
+func TrainGraphLevel(method Method, cfg ModelConfig, ds *GraphDataset, opts TrainOptions) (*Result, float64, error) {
+	if ds == nil {
+		return nil, 0, fmt.Errorf("torchgt: nil dataset")
+	}
+	tr := train.NewGraphTrainer(train.GraphConfig{
+		Method: method, Epochs: opts.epochs(), LR: opts.LR,
+		BatchSize: opts.BatchSize, Interval: opts.Interval, Seed: opts.Seed,
+	}, cfg, ds)
+	res := tr.Run()
+	mae := 0.0
+	if ds.Task == graph.GraphRegression {
+		mae = tr.EvalMAE()
+	}
+	return res, mae, nil
+}
+
+// TrainNodeSeq trains node classification with mini-batched sequences of
+// opts.SeqLen sampled nodes per step (the Fig. 1 regime).
+func TrainNodeSeq(method Method, cfg ModelConfig, ds *NodeDataset, opts TrainOptions) (*Result, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("torchgt: nil dataset")
+	}
+	tr := train.NewSeqTrainer(train.SeqConfig{
+		Method: method, Epochs: opts.epochs(), LR: opts.LR,
+		SeqLen: opts.SeqLen, Seed: opts.Seed,
+	}, cfg, ds)
+	return tr.Run(), nil
+}
+
+// DistTrainer exposes the channel-based P-worker runtime implementing
+// Cluster-aware Graph Parallelism.
+type DistTrainer = dist.Trainer
+
+// NewDistTrainer builds a P-worker trainer with identical model replicas.
+// Sequence length and head count must be divisible by p.
+func NewDistTrainer(p int, cfg ModelConfig, lr float64) *DistTrainer {
+	return dist.NewTrainer(p, cfg, lr)
+}
+
+// SparseNodeSpec builds the topology-induced attention spec for a node
+// dataset (used with DistTrainer and custom loops).
+func SparseNodeSpec(ds *NodeDataset) *model.AttentionSpec {
+	p := sparsePattern(ds)
+	return &model.AttentionSpec{Mode: model.ModeSparse, Pattern: p}
+}
+
+func sparsePattern(ds *NodeDataset) *patternAlias { return patternFrom(ds.G) }
+
+// ExperimentIDs lists every reproducible table/figure id.
+func ExperimentIDs() []string { return bench.IDs() }
+
+// RunExperiment regenerates one paper table/figure, writing its report to w.
+// full=false runs a fast smoke-scale variant.
+func RunExperiment(id string, w io.Writer, full bool) error {
+	e, ok := bench.Get(id)
+	if !ok {
+		return fmt.Errorf("torchgt: unknown experiment %q (have %v)", id, bench.IDs())
+	}
+	scale := bench.ScaleSmoke
+	if full {
+		scale = bench.ScaleFull
+	}
+	return e.Run(w, scale)
+}
+
+// RunAllExperiments regenerates every registered table and figure.
+func RunAllExperiments(w io.Writer, full bool) error {
+	scale := bench.ScaleSmoke
+	if full {
+		scale = bench.ScaleFull
+	}
+	return bench.RunAll(w, scale)
+}
