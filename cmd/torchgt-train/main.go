@@ -30,6 +30,8 @@ func main() {
 	lr := flag.Float64("lr", 2e-3, "learning rate")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "simulated sequence-parallel workers (node-level, sparse attention)")
+	execWorkers := flag.Int("exec-workers", 0, "attention-head parallelism (0 = all cores)")
+	unpooled := flag.Bool("unpooled", false, "disable workspace pooling (debug/benchmark)")
 	flag.Parse()
 
 	m, err := torchgt.ParseMethod(*method)
@@ -48,7 +50,10 @@ func main() {
 			return torchgt.GraphormerSlim(in, out, *seed)
 		}
 	}
-	opts := torchgt.TrainOptions{Epochs: *epochs, LR: *lr, Seed: *seed}
+	opts := torchgt.TrainOptions{
+		Epochs: *epochs, LR: *lr, Seed: *seed,
+		Exec: &torchgt.ExecOptions{Workers: *execWorkers, PoolEnabled: !*unpooled},
+	}
 
 	isGraphLevel := false
 	for _, n := range torchgt.GraphDatasetNames() {

@@ -1,0 +1,3 @@
+module torchgt
+
+go 1.24

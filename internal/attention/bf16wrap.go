@@ -8,6 +8,8 @@ import "torchgt/internal/tensor"
 // Used for the Table VII TorchGT-BF16 configuration.
 type BF16Wrap struct {
 	Inner Kernel
+
+	ws *tensor.Workspace
 }
 
 // Name implements Kernel.
@@ -16,13 +18,22 @@ func (w *BF16Wrap) Name() string { return w.Inner.Name() + "-bf16" }
 // Pairs implements Kernel.
 func (w *BF16Wrap) Pairs() int64 { return w.Inner.Pairs() }
 
+// SetWorkspace implements WorkspaceUser, forwarding to the inner kernel.
+func (w *BF16Wrap) SetWorkspace(ws *tensor.Workspace) {
+	w.ws = ws
+	WithWorkspace(w.Inner, ws)
+}
+
 // Forward implements Kernel.
 func (w *BF16Wrap) Forward(q, k, v *tensor.Mat) *tensor.Mat {
-	q, k, v = q.Clone(), k.Clone(), v.Clone()
-	tensor.RoundBF16Mat(q)
-	tensor.RoundBF16Mat(k)
-	tensor.RoundBF16Mat(v)
-	o := w.Inner.Forward(q, k, v)
+	qc, kc, vc := w.ws.GetUninit(q.Rows, q.Cols), w.ws.GetUninit(k.Rows, k.Cols), w.ws.GetUninit(v.Rows, v.Cols)
+	qc.CopyFrom(q)
+	kc.CopyFrom(k)
+	vc.CopyFrom(v)
+	tensor.RoundBF16Mat(qc)
+	tensor.RoundBF16Mat(kc)
+	tensor.RoundBF16Mat(vc)
+	o := w.Inner.Forward(qc, kc, vc)
 	tensor.RoundBF16Mat(o)
 	return o
 }

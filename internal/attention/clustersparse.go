@@ -35,6 +35,7 @@ type ClusterSparse struct {
 	blockBiasSet bool
 	blockBiasGrd float32
 
+	ws         *tensor.Workspace
 	q, k, v    *tensor.Mat
 	o          *tensor.Mat
 	keepProbs  []float32
@@ -42,6 +43,9 @@ type ClusterSparse struct {
 	blockProbs []float32 // len nb*db*db, row-major within block
 	blockDs    []float32
 }
+
+// SetWorkspace implements WorkspaceUser.
+func (c *ClusterSparse) SetWorkspace(ws *tensor.Workspace) { c.ws = ws }
 
 // NewClusterSparse builds the kernel's indexes from a reformed layout.
 func NewClusterSparse(r *sparse.Reformed) *ClusterSparse {
@@ -122,8 +126,8 @@ func (c *ClusterSparse) Forward(q, k, v *tensor.Mat) *tensor.Mat {
 	db := c.R.Db
 	nb := len(c.R.Blocks)
 	keep := c.R.Keep
-	c.keepProbs = make([]float32, keep.NNZ())
-	c.blockProbs = make([]float32, nb*db*db)
+	c.keepProbs = c.ws.GetVec(keep.NNZ())
+	c.blockProbs = c.ws.GetVec(nb * db * db)
 
 	// Phase 1 (block-centric): dense db×db score tiles with contiguous rows.
 	tensor.ParallelFor(nb, func(lo, hi int) {
@@ -150,7 +154,7 @@ func (c *ClusterSparse) Forward(q, k, v *tensor.Mat) *tensor.Mat {
 	})
 
 	// Phase 2 (row-centric): softmax across keep entries + covering blocks.
-	o := tensor.New(q.Rows, v.Cols)
+	o := c.ws.Get(q.Rows, v.Cols)
 	tensor.ParallelFor(q.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e0, e1 := keep.RowPtr[i], keep.RowPtr[i+1]
@@ -229,11 +233,11 @@ func (c *ClusterSparse) Backward(dO *tensor.Mat) (dq, dk, dv *tensor.Mat) {
 	scale := scaleFor(q.Cols)
 	keep := c.R.Keep
 	db := c.R.Db
-	c.keepDs = make([]float32, keep.NNZ())
-	c.blockDs = make([]float32, len(c.blockProbs))
-	dq = tensor.New(q.Rows, q.Cols)
-	dk = tensor.New(k.Rows, k.Cols)
-	dv = tensor.New(v.Rows, v.Cols)
+	c.keepDs = c.ws.GetVec(keep.NNZ())
+	c.blockDs = c.ws.GetVec(len(c.blockProbs))
+	dq = c.ws.Get(q.Rows, q.Cols)
+	dk = c.ws.Get(k.Rows, k.Cols)
+	dv = c.ws.Get(v.Rows, v.Cols)
 
 	// row pass: per-row softmax backward across both structures, dq
 	tensor.ParallelFor(q.Rows, func(lo, hi int) {
@@ -313,7 +317,8 @@ func (c *ClusterSparse) Backward(dO *tensor.Mat) (dq, dk, dv *tensor.Mat) {
 		}
 	})
 	if c.keepBias != nil {
-		c.keepBiasGrad = append([]float32(nil), c.keepDs...)
+		c.keepBiasGrad = c.ws.GetVec(keep.NNZ())
+		copy(c.keepBiasGrad, c.keepDs)
 	} else {
 		c.keepBiasGrad = nil
 	}

@@ -7,11 +7,13 @@ import (
 // Dense is full O(S²) attention with the score matrix materialised — the
 // GP-Raw baseline. Supports an additive S×S bias (Graphormer's structural
 // encodings): set via SetBias before Forward; BiasGrad is valid after
-// Backward.
+// Backward. Scratch and cache buffers come from the attached workspace when
+// one is set (SetWorkspace), making steady-state steps allocation-free.
 type Dense struct {
 	bias     *tensor.Mat
 	biasGrad *tensor.Mat
 
+	ws      *tensor.Workspace
 	q, k, v *tensor.Mat
 	p       *tensor.Mat // softmax probabilities (S×S)
 	pairs   int64
@@ -25,6 +27,9 @@ func (d *Dense) Name() string { return "dense" }
 
 // Pairs implements Kernel.
 func (d *Dense) Pairs() int64 { return d.pairs }
+
+// SetWorkspace implements WorkspaceUser.
+func (d *Dense) SetWorkspace(ws *tensor.Workspace) { d.ws = ws }
 
 // SetBias installs an additive S×S score bias (nil disables).
 func (d *Dense) SetBias(b *tensor.Mat) { d.bias = b }
@@ -40,7 +45,7 @@ func (d *Dense) Forward(q, k, v *tensor.Mat) *tensor.Mat {
 	s := q.Rows
 	d.pairs = int64(s) * int64(s)
 	scale := scaleFor(q.Cols)
-	p := tensor.New(s, s)
+	p := d.ws.GetUninit(s, s)
 	tensor.MatMulT(p, q, k)
 	tensor.Scale(p, scale)
 	if d.bias != nil {
@@ -48,7 +53,7 @@ func (d *Dense) Forward(q, k, v *tensor.Mat) *tensor.Mat {
 	}
 	tensor.SoftmaxRows(p)
 	d.p = p
-	o := tensor.New(s, v.Cols)
+	o := d.ws.GetUninit(s, v.Cols)
 	tensor.MatMul(o, p, v)
 	return o
 }
@@ -57,28 +62,31 @@ func (d *Dense) Forward(q, k, v *tensor.Mat) *tensor.Mat {
 func (d *Dense) Backward(dO *tensor.Mat) (dq, dk, dv *tensor.Mat) {
 	s := d.q.Rows
 	scale := scaleFor(d.q.Cols)
-	dv = tensor.New(s, d.v.Cols)
+	dv = d.ws.GetUninit(s, d.v.Cols)
 	tensor.TMatMul(dv, d.p, dO)
-	dp := tensor.New(s, s)
+	dp := d.ws.GetUninit(s, s)
 	tensor.MatMulT(dp, dO, d.v)
 	// softmax backward row-wise, in place over dp → ds
-	ds := tensor.New(s, s)
+	ds := d.ws.GetUninit(s, s)
 	tensor.ParallelFor(s, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			tensor.SoftmaxBackwardRow(ds.Row(i), d.p.Row(i), dp.Row(i))
 		}
 	})
 	if d.bias != nil {
-		d.biasGrad = ds.Clone()
+		d.biasGrad = d.ws.GetUninit(s, s)
+		d.biasGrad.CopyFrom(ds)
 	} else {
 		d.biasGrad = nil
 	}
-	dq = tensor.New(s, d.q.Cols)
+	dq = d.ws.GetUninit(s, d.q.Cols)
 	tensor.MatMul(dq, ds, d.k)
 	tensor.Scale(dq, scale)
-	dk = tensor.New(s, d.k.Cols)
+	dk = d.ws.GetUninit(s, d.k.Cols)
 	tensor.TMatMul(dk, ds, d.q)
 	tensor.Scale(dk, scale)
+	d.ws.Put(dp)
+	d.ws.Put(ds)
 	return dq, dk, dv
 }
 

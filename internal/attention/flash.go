@@ -11,13 +11,15 @@ import (
 // O(S). This reproduces the two properties of FlashAttention the paper
 // relies on: it rescues GP-Raw's memory wall but not its compute wall
 // (Fig. 2), and in BF16 mode it loses accuracy (Table VII). Like the real
-// library, it does not support additive bias encodings.
+// library, it does not support additive bias encodings. Per-worker tile
+// scratch and all cache buffers are drawn from the attached workspace.
 type Flash struct {
 	// Tile is the column tile width (default 64).
 	Tile int
 	// BF16 emulates bfloat16 storage of Q/K/V and O (FP32 accumulation).
 	BF16 bool
 
+	ws      *tensor.Workspace
 	q, k, v *tensor.Mat
 	o       *tensor.Mat
 	lse     []float32 // per-row logsumexp of scaled scores
@@ -38,11 +40,18 @@ func (f *Flash) Name() string {
 // Pairs implements Kernel.
 func (f *Flash) Pairs() int64 { return f.pairs }
 
+// SetWorkspace implements WorkspaceUser.
+func (f *Flash) SetWorkspace(ws *tensor.Workspace) { f.ws = ws }
+
 // Forward implements Kernel.
 func (f *Flash) Forward(q, k, v *tensor.Mat) *tensor.Mat {
 	checkQKV(q, k, v)
 	if f.BF16 {
-		q, k, v = q.Clone(), k.Clone(), v.Clone()
+		qc, kc, vc := f.ws.GetUninit(q.Rows, q.Cols), f.ws.GetUninit(k.Rows, k.Cols), f.ws.GetUninit(v.Rows, v.Cols)
+		qc.CopyFrom(q)
+		kc.CopyFrom(k)
+		vc.CopyFrom(v)
+		q, k, v = qc, kc, vc
 		tensor.RoundBF16Mat(q)
 		tensor.RoundBF16Mat(k)
 		tensor.RoundBF16Mat(v)
@@ -52,15 +61,19 @@ func (f *Flash) Forward(q, k, v *tensor.Mat) *tensor.Mat {
 	dv := v.Cols
 	f.pairs = int64(s) * int64(s)
 	scale := scaleFor(q.Cols)
-	o := tensor.New(s, dv)
-	f.lse = make([]float32, s)
+	o := f.ws.GetUninit(s, dv)
+	f.lse = f.ws.GetVec(s)
 	tile := f.Tile
 	if tile < 1 {
 		tile = 64
 	}
-	tensor.ParallelFor(s, func(lo, hi int) {
-		scores := make([]float32, tile)
-		acc := make([]float32, dv)
+	// per-worker tile scratch, indexed by the ParallelFor worker slot
+	nw := tensor.WorkerCount(s)
+	scoreBuf := f.ws.GetVec(nw * tile)
+	accBuf := f.ws.GetVec(nw * dv)
+	tensor.ParallelForWorker(s, func(worker, lo, hi int) {
+		scores := scoreBuf[worker*tile : (worker+1)*tile]
+		acc := accBuf[worker*dv : (worker+1)*dv]
 		for i := lo; i < hi; i++ {
 			qi := q.Row(i)
 			m := float32(math.Inf(-1))
@@ -123,13 +136,13 @@ func (f *Flash) Backward(dO *tensor.Mat) (dq, dk, dv *tensor.Mat) {
 	s := q.Rows
 	scale := scaleFor(q.Cols)
 	// D_i = dO_i · O_i
-	d := make([]float32, s)
+	d := f.ws.GetVec(s)
 	for i := 0; i < s; i++ {
 		d[i] = tensor.Dot(dO.Row(i), f.o.Row(i))
 	}
-	dq = tensor.New(s, q.Cols)
-	dk = tensor.New(s, k.Cols)
-	dv = tensor.New(s, v.Cols)
+	dq = f.ws.Get(s, q.Cols)
+	dk = f.ws.Get(s, k.Cols)
+	dv = f.ws.Get(s, v.Cols)
 	// row pass: dq_i = Σ_j ds_ij * k_j * scale
 	tensor.ParallelFor(s, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

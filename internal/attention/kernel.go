@@ -39,6 +39,28 @@ type Kernel interface {
 	Pairs() int64
 }
 
+// WorkspaceUser is implemented by kernels that can draw their scratch and
+// cache buffers from a tensor.Workspace instead of the heap. All kernels in
+// this package implement it; a nil workspace (the default) falls back to
+// plain allocation, so existing call sites are unaffected.
+//
+// Ownership contract: buffers handed out by Forward/Backward (outputs,
+// gradients, bias gradients) belong to the workspace and stay valid until
+// its next Reset — callers reset only at step boundaries, after the
+// optimiser has consumed every gradient.
+type WorkspaceUser interface {
+	SetWorkspace(ws *tensor.Workspace)
+}
+
+// WithWorkspace attaches ws to k when the kernel supports pooling and
+// returns k for chaining.
+func WithWorkspace(k Kernel, ws *tensor.Workspace) Kernel {
+	if u, ok := k.(WorkspaceUser); ok {
+		u.SetWorkspace(ws)
+	}
+	return k
+}
+
 func scaleFor(dk int) float32 { return float32(1.0 / math.Sqrt(float64(dk))) }
 
 func checkQKV(q, k, v *tensor.Mat) {

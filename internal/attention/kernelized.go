@@ -11,6 +11,7 @@ import (
 // O(S·d²) compute. It is the NodeFormer-lite used by the Fig. 1
 // reproduction.
 type Kernelized struct {
+	ws         *tensor.Workspace
 	q, k, v    *tensor.Mat
 	phiQ, phiK *tensor.Mat
 	m          *tensor.Mat // φ(K)ᵀ V  (d×dv)
@@ -22,6 +23,9 @@ type Kernelized struct {
 
 // NewKernelized constructs the kernel.
 func NewKernelized() *Kernelized { return &Kernelized{} }
+
+// SetWorkspace implements WorkspaceUser.
+func (kz *Kernelized) SetWorkspace(ws *tensor.Workspace) { kz.ws = ws }
 
 // Name implements Kernel.
 func (kz *Kernelized) Name() string { return "kernelized" }
@@ -50,22 +54,24 @@ func (kz *Kernelized) Forward(q, k, v *tensor.Mat) *tensor.Mat {
 	kz.q, kz.k, kz.v = q, k, v
 	s, d, dv := q.Rows, q.Cols, v.Cols
 	kz.pairs = int64(s) * int64(d)
-	phiQ := q.Clone()
+	phiQ := kz.ws.GetUninit(s, d)
+	phiQ.CopyFrom(q)
 	tensor.Apply(phiQ, elu1)
-	phiK := k.Clone()
+	phiK := kz.ws.GetUninit(s, d)
+	phiK.CopyFrom(k)
 	tensor.Apply(phiK, elu1)
 	kz.phiQ, kz.phiK = phiQ, phiK
-	m := tensor.New(d, dv)
+	m := kz.ws.GetUninit(d, dv)
 	tensor.TMatMul(m, phiK, v)
 	kz.m = m
-	z := make([]float32, d)
+	z := kz.ws.GetVec(d)
 	tensor.ColSum(z, phiK)
 	kz.z = z
-	num := tensor.New(s, dv)
+	num := kz.ws.GetUninit(s, dv)
 	tensor.MatMul(num, phiQ, m)
 	kz.num = num
-	o := tensor.New(s, dv)
-	kz.den = make([]float32, s)
+	o := kz.ws.GetUninit(s, dv)
+	kz.den = kz.ws.GetVec(s)
 	tensor.ParallelFor(s, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			den := tensor.Dot(phiQ.Row(i), z) + 1e-6
@@ -84,8 +90,8 @@ func (kz *Kernelized) Forward(q, k, v *tensor.Mat) *tensor.Mat {
 // Backward implements Kernel.
 func (kz *Kernelized) Backward(dO *tensor.Mat) (dq, dk, dv *tensor.Mat) {
 	s, d, dvc := kz.q.Rows, kz.q.Cols, kz.v.Cols
-	dNum := tensor.New(s, dvc)
-	dDen := make([]float32, s)
+	dNum := kz.ws.GetUninit(s, dvc)
+	dDen := kz.ws.GetVec(s)
 	for i := 0; i < s; i++ {
 		den := kz.den[i]
 		dOi := dO.Row(i)
@@ -100,29 +106,29 @@ func (kz *Kernelized) Backward(dO *tensor.Mat) (dq, dk, dv *tensor.Mat) {
 		dDen[i] = -dd * inv * inv
 	}
 	// dφQ = dNum·Mᵀ + dDen ⊗ z
-	dPhiQ := tensor.New(s, d)
+	dPhiQ := kz.ws.GetUninit(s, d)
 	tensor.MatMulT(dPhiQ, dNum, kz.m)
 	for i := 0; i < s; i++ {
 		tensor.Axpy(dDen[i], kz.z, dPhiQ.Row(i))
 	}
 	// dM = φQᵀ·dNum ; dz = Σ_i dDen_i φQ_i
-	dM := tensor.New(d, dvc)
+	dM := kz.ws.GetUninit(d, dvc)
 	tensor.TMatMul(dM, kz.phiQ, dNum)
-	dz := make([]float32, d)
+	dz := kz.ws.GetVec(d)
 	for i := 0; i < s; i++ {
 		tensor.Axpy(dDen[i], kz.phiQ.Row(i), dz)
 	}
 	// dφK_j = dM·v_j + dz ; dV_j = φK_jᵀ·dM
-	dPhiK := tensor.New(s, d)
+	dPhiK := kz.ws.GetUninit(s, d)
 	tensor.MatMulT(dPhiK, kz.v, dM) // (S×dv)·(d×dv)ᵀ = S×d
 	for i := 0; i < s; i++ {
 		tensor.Axpy(1, dz, dPhiK.Row(i))
 	}
-	dv = tensor.New(s, dvc)
+	dv = kz.ws.GetUninit(s, dvc)
 	tensor.MatMul(dv, kz.phiK, dM)
 	// chain through φ
-	dq = tensor.New(s, d)
-	dk = tensor.New(s, d)
+	dq = kz.ws.GetUninit(s, d)
+	dk = kz.ws.GetUninit(s, d)
 	for i := range dq.Data {
 		dq.Data[i] = dPhiQ.Data[i] * elu1Grad(kz.q.Data[i])
 		dk.Data[i] = dPhiK.Data[i] * elu1Grad(kz.k.Data[i])

@@ -1,0 +1,5 @@
+//go:build !race
+
+package attention
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package attention
+
+// raceEnabled reports that the race detector is active; allocation-count
+// assertions are skipped because race mode instruments allocations and
+// deliberately drops a fraction of sync.Pool reuse.
+const raceEnabled = true

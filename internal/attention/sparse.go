@@ -21,11 +21,15 @@ type Sparse struct {
 	bias     []float32 // per-entry additive bias (aligned with P.ColIdx)
 	biasGrad []float32
 
+	ws      *tensor.Workspace
 	q, k, v *tensor.Mat
 	o       *tensor.Mat
 	probs   []float32 // per-entry softmax probabilities
 	ds      []float32 // per-entry score gradients (set in Backward)
 }
+
+// SetWorkspace implements WorkspaceUser.
+func (s *Sparse) SetWorkspace(ws *tensor.Workspace) { s.ws = ws }
 
 // NewSparse constructs the kernel and builds the transpose index once.
 func NewSparse(p *sparse.Pattern) *Sparse {
@@ -81,8 +85,8 @@ func (s *Sparse) Forward(q, k, v *tensor.Mat) *tensor.Mat {
 	s.q, s.k, s.v = q, k, v
 	scale := scaleFor(q.Cols)
 	nnz := s.P.NNZ()
-	s.probs = make([]float32, nnz)
-	o := tensor.New(q.Rows, v.Cols)
+	s.probs = s.ws.GetVec(nnz)
+	o := s.ws.Get(q.Rows, v.Cols)
 	tensor.ParallelFor(q.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e0, e1 := s.P.RowPtr[i], s.P.RowPtr[i+1]
@@ -115,10 +119,10 @@ func (s *Sparse) Backward(dO *tensor.Mat) (dq, dk, dv *tensor.Mat) {
 	q, k, v := s.q, s.k, s.v
 	scale := scaleFor(q.Cols)
 	nnz := s.P.NNZ()
-	s.ds = make([]float32, nnz)
-	dq = tensor.New(q.Rows, q.Cols)
-	dk = tensor.New(k.Rows, k.Cols)
-	dv = tensor.New(v.Rows, v.Cols)
+	s.ds = s.ws.GetVec(nnz)
+	dq = s.ws.Get(q.Rows, q.Cols)
+	dk = s.ws.Get(k.Rows, k.Cols)
+	dv = s.ws.Get(v.Rows, v.Cols)
 	tensor.ParallelFor(q.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e0, e1 := s.P.RowPtr[i], s.P.RowPtr[i+1]
@@ -154,7 +158,8 @@ func (s *Sparse) Backward(dO *tensor.Mat) (dq, dk, dv *tensor.Mat) {
 		}
 	})
 	if s.bias != nil {
-		s.biasGrad = append([]float32(nil), s.ds...)
+		s.biasGrad = s.ws.GetVec(nnz)
+		copy(s.biasGrad, s.ds)
 	} else {
 		s.biasGrad = nil
 	}

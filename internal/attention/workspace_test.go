@@ -1,0 +1,127 @@
+package attention
+
+import (
+	"math/rand"
+	"testing"
+
+	"torchgt/internal/graph"
+	"torchgt/internal/sparse"
+	"torchgt/internal/tensor"
+)
+
+// kernelCase builds one pooled and one unpooled instance of every kernel
+// family over compatible inputs.
+type kernelCase struct {
+	name string
+	mk   func() Kernel
+	s, d int
+}
+
+func workspaceCases(t *testing.T) []kernelCase {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	g := graph.ErdosRenyi(24, 0.3, rng)
+	p := sparse.FromGraph(g)
+	bias := make([]float32, p.NNZ())
+	for i := range bias {
+		bias[i] = float32(rng.NormFloat64() * 0.3)
+	}
+	denseBias := tensor.New(24, 24)
+	tensor.RandN(denseBias, rng, 0.3)
+	r, rs := buildReformed(t, 10, 0.05)
+	return []kernelCase{
+		{"dense", func() Kernel { return NewDense() }, 24, 6},
+		{"dense-bias", func() Kernel {
+			d := NewDense()
+			d.SetBias(denseBias)
+			return d
+		}, 24, 6},
+		{"flash", func() Kernel {
+			f := NewFlash(false)
+			f.Tile = 8
+			return f
+		}, 24, 6},
+		{"flash-bf16", func() Kernel { return NewFlash(true) }, 24, 6},
+		{"sparse", func() Kernel { return NewSparse(p) }, 24, 6},
+		{"sparse-bias", func() Kernel {
+			sp := NewSparse(p)
+			sp.SetEdgeBias(bias)
+			return sp
+		}, 24, 6},
+		{"cluster-sparse", func() Kernel { return NewClusterSparse(r) }, rs, 6},
+		{"kernelized", func() Kernel { return NewKernelized() }, 24, 6},
+		{"bf16wrap-sparse", func() Kernel { return &BF16Wrap{Inner: NewSparse(p)} }, 24, 6},
+	}
+}
+
+// TestPooledMatchesUnpooled verifies that attaching a workspace changes no
+// numbers: forward outputs and all three gradients must be bitwise equal
+// across repeated steps (buffers are recycled between steps via Reset).
+func TestPooledMatchesUnpooled(t *testing.T) {
+	for _, tc := range workspaceCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			q, k, v := randQKV(rng, tc.s, tc.d, tc.d)
+			dO := tensor.New(tc.s, tc.d)
+			tensor.RandN(dO, rng, 1)
+
+			ref := tc.mk()
+			oRef := ref.Forward(q, k, v)
+			dqRef, dkRef, dvRef := ref.Backward(dO)
+
+			ws := tensor.NewWorkspace()
+			kr := WithWorkspace(tc.mk(), ws)
+			for step := 0; step < 3; step++ {
+				o := kr.Forward(q, k, v)
+				if !o.Equal(oRef, 0) {
+					t.Fatalf("step %d: pooled forward differs", step)
+				}
+				dq, dk, dv := kr.Backward(dO)
+				if !dq.Equal(dqRef, 0) || !dk.Equal(dkRef, 0) || !dv.Equal(dvRef, 0) {
+					t.Fatalf("step %d: pooled backward differs", step)
+				}
+				ws.Reset()
+			}
+			st := ws.Stats()
+			if st.Gets == 0 {
+				t.Fatal("pooled kernel never drew from the workspace")
+			}
+			if st.PoolHits == 0 {
+				t.Fatal("no reuse across steps")
+			}
+		})
+	}
+}
+
+// TestPooledBiasGradStable checks bias gradients survive pooling (they are
+// workspace-owned and must be consumed before Reset — the MHA contract).
+func TestPooledBiasGradStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.ErdosRenyi(12, 0.4, rng)
+	p := sparse.FromGraph(g)
+	bias := make([]float32, p.NNZ())
+	for i := range bias {
+		bias[i] = float32(rng.NormFloat64() * 0.3)
+	}
+	q, k, v := randQKV(rng, 12, 4, 4)
+	dO := tensor.New(12, 4)
+	tensor.RandN(dO, rng, 1)
+
+	ref := NewSparse(p)
+	ref.SetEdgeBias(bias)
+	ref.Forward(q, k, v)
+	ref.Backward(dO)
+
+	ws := tensor.NewWorkspace()
+	sp := NewSparse(p)
+	sp.SetEdgeBias(bias)
+	sp.SetWorkspace(ws)
+	sp.Forward(q, k, v)
+	sp.Backward(dO)
+	got, want := sp.EdgeBiasGrad(), ref.EdgeBiasGrad()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bias grad[%d]: %v != %v", i, got[i], want[i])
+		}
+	}
+}

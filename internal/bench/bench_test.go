@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table5", "table6", "table7", "table8",
 		"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b",
-		"fig10", "fig11", "fig12", "preproc", "dist",
+		"fig10", "fig11", "fig12", "preproc", "dist", "workspace",
 		"ablation-interleave", "ablation-reorder", "ablation-db", "ablation-sampling", "ablation-bigbird",
 	}
 	for _, id := range want {
@@ -87,6 +87,13 @@ func TestSmokeDist(t *testing.T) {
 }
 
 func TestSmokePreproc(t *testing.T) { smokeRun(t, "preproc") }
+
+func TestSmokeWorkspace(t *testing.T) {
+	out := smokeRun(t, "workspace")
+	if !strings.Contains(out, "alloc reduction") || !strings.Contains(out, "head-parallel, pooled") {
+		t.Fatal("workspace output incomplete")
+	}
+}
 
 func TestSmokeTable8(t *testing.T) { smokeRun(t, "table8") }
 

@@ -1,0 +1,142 @@
+// Package dist is the simulated multi-GPU runtime: channel-based collective
+// communication between P worker goroutines (a numerically real
+// implementation of the paper's Cluster-aware Graph Parallelism /
+// DeepSpeed-Ulysses sequence↔head resharding), plus analytic performance and
+// memory models of the paper's two testbeds used by the experiment harness
+// to extrapolate laptop-scale measurements to paper-scale sequence lengths.
+package dist
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"torchgt/internal/tensor"
+)
+
+// Run launches p rank goroutines and blocks until all return — the moral
+// equivalent of torchrun spawning one process per GPU.
+func Run(p int, f func(rank int)) {
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			f(rank)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm provides collective operations among p ranks over buffered channels,
+// with per-rank traffic accounting. All collectives must be entered by every
+// rank (they are synchronising, like NCCL collectives).
+type Comm struct {
+	P int
+
+	// chans[src][dst] carries one message per collective round.
+	chans     [][]chan *tensor.Mat
+	bytesSent []int64 // per-rank, atomic
+}
+
+// NewComm builds the communicator for p ranks.
+func NewComm(p int) *Comm {
+	c := &Comm{P: p, bytesSent: make([]int64, p)}
+	c.chans = make([][]chan *tensor.Mat, p)
+	for s := 0; s < p; s++ {
+		c.chans[s] = make([]chan *tensor.Mat, p)
+		for d := 0; d < p; d++ {
+			c.chans[s][d] = make(chan *tensor.Mat, 1)
+		}
+	}
+	return c
+}
+
+// AllToAll sends parts[d] to rank d and returns the P parts received, indexed
+// by source rank (the caller's own part is passed through untouched).
+// Receivers must treat incoming matrices as read-only — ownership stays with
+// the sender, exactly like a registered send buffer.
+func (c *Comm) AllToAll(rank int, parts []*tensor.Mat) []*tensor.Mat {
+	if len(parts) != c.P {
+		panic("dist: AllToAll needs one part per rank")
+	}
+	var sent int64
+	for d := 0; d < c.P; d++ {
+		if d == rank {
+			continue
+		}
+		c.chans[rank][d] <- parts[d]
+		if parts[d] != nil {
+			sent += parts[d].Bytes()
+		}
+	}
+	atomic.AddInt64(&c.bytesSent[rank], sent)
+	out := make([]*tensor.Mat, c.P)
+	out[rank] = parts[rank]
+	for s := 0; s < c.P; s++ {
+		if s == rank {
+			continue
+		}
+		out[s] = <-c.chans[s][rank]
+	}
+	return out
+}
+
+// AllGather shares one matrix per rank with every rank, returned indexed by
+// source rank.
+func (c *Comm) AllGather(rank int, m *tensor.Mat) []*tensor.Mat {
+	parts := make([]*tensor.Mat, c.P)
+	for d := range parts {
+		parts[d] = m
+	}
+	return c.AllToAll(rank, parts)
+}
+
+// AllReduce sums the ranks' gradient matrices element-wise, in place, leaving
+// every rank with the identical total. Implemented as an all-gather of a
+// flattened gradient vector followed by a deterministic rank-ordered
+// summation, so replicas stay bitwise in sync.
+func (c *Comm) AllReduce(rank int, mats []*tensor.Mat) {
+	n := 0
+	for _, m := range mats {
+		n += len(m.Data)
+	}
+	flat := tensor.New(1, n)
+	off := 0
+	for _, m := range mats {
+		copy(flat.Data[off:], m.Data)
+		off += len(m.Data)
+	}
+	gathered := c.AllGather(rank, flat)
+	sum := tensor.New(1, n)
+	for r := 0; r < c.P; r++ {
+		tensor.Axpy(1, gathered[r].Data, sum.Data)
+	}
+	off = 0
+	for _, m := range mats {
+		copy(m.Data, sum.Data[off:off+len(m.Data)])
+		off += len(m.Data)
+	}
+}
+
+// AllReduceScalar sums one float across ranks (used for loss reporting).
+func (c *Comm) AllReduceScalar(rank int, v float64) float64 {
+	m := tensor.New(1, 1)
+	m.Data[0] = float32(v)
+	var s float64
+	for _, g := range c.AllGather(rank, m) {
+		s += float64(g.Data[0])
+	}
+	return s
+}
+
+// BytesSent reports the traffic rank has sent so far.
+func (c *Comm) BytesSent(rank int) int64 { return atomic.LoadInt64(&c.bytesSent[rank]) }
+
+// TotalBytes reports the traffic sent by all ranks.
+func (c *Comm) TotalBytes() int64 {
+	var t int64
+	for r := range c.bytesSent {
+		t += atomic.LoadInt64(&c.bytesSent[r])
+	}
+	return t
+}

@@ -1,0 +1,210 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"torchgt/internal/encoding"
+	"torchgt/internal/graph"
+	"torchgt/internal/model"
+	"torchgt/internal/nn"
+	"torchgt/internal/sparse"
+	"torchgt/internal/tensor"
+)
+
+func TestAllToAllDeliversByRank(t *testing.T) {
+	const p = 3
+	c := NewComm(p)
+	got := make([][]*tensor.Mat, p)
+	Run(p, func(rank int) {
+		parts := make([]*tensor.Mat, p)
+		for d := 0; d < p; d++ {
+			m := tensor.New(1, 2)
+			m.Data[0] = float32(rank)
+			m.Data[1] = float32(d)
+			parts[d] = m
+		}
+		got[rank] = c.AllToAll(rank, parts)
+	})
+	for dst := 0; dst < p; dst++ {
+		for src := 0; src < p; src++ {
+			m := got[dst][src]
+			if m.Data[0] != float32(src) || m.Data[1] != float32(dst) {
+				t.Fatalf("rank %d slot %d got (%v,%v)", dst, src, m.Data[0], m.Data[1])
+			}
+		}
+	}
+	// 2 off-rank parts × 3 ranks × 8 bytes
+	if c.TotalBytes() != int64(p*(p-1)*8) {
+		t.Fatalf("bytes=%d", c.TotalBytes())
+	}
+}
+
+func TestAllReduceSums(t *testing.T) {
+	const p = 4
+	c := NewComm(p)
+	mats := make([]*tensor.Mat, p)
+	for r := range mats {
+		m := tensor.New(2, 3)
+		m.Fill(float32(r + 1))
+		mats[r] = m
+	}
+	Run(p, func(rank int) {
+		c.AllReduce(rank, []*tensor.Mat{mats[rank]})
+	})
+	for r := 0; r < p; r++ {
+		for _, v := range mats[r].Data {
+			if v != 10 { // 1+2+3+4
+				t.Fatalf("rank %d has %v", r, v)
+			}
+		}
+	}
+}
+
+func distFixture(t *testing.T, n int) (model.Config, *model.Inputs, *model.AttentionSpec, []int32, []bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	g := graph.ErdosRenyi(n, 0.2, rng)
+	x := tensor.New(n, 8)
+	tensor.RandN(x, rng, 1)
+	degIn, degOut := encoding.DegreeBuckets(g, 63)
+	in := &model.Inputs{X: x, DegInIdx: degIn, DegOutIdx: degOut}
+	p := sparse.FromGraph(g)
+	buckets := make([]int32, p.NNZ())
+	idx := 0
+	for i := 0; i < p.S; i++ {
+		for _, j := range p.Row(i) {
+			if int32(i) != j {
+				buckets[idx] = 1
+			}
+			idx++
+		}
+	}
+	spec := &model.AttentionSpec{Mode: model.ModeSparse, Pattern: p, EdgeBuckets: buckets}
+	y := make([]int32, n)
+	mask := make([]bool, n)
+	for i := range y {
+		y[i] = int32(rng.Intn(3))
+		mask[i] = true
+	}
+	cfg := model.Config{
+		Name: "dist-test", Layers: 2, Hidden: 16, Heads: 4, InDim: 8, OutDim: 3,
+		UseDegreeEnc: true, UseSPDBias: true, Seed: 5,
+	}
+	return cfg, in, spec, y, mask
+}
+
+// TestTrainerSingleRankMatchesSerial: with P=1 the resharding collectives are
+// identities, so the distributed step must be numerically identical to the
+// plain single-node training step (same loss, same updated weights).
+func TestTrainerSingleRankMatchesSerial(t *testing.T) {
+	cfg, in, spec, y, mask := distFixture(t, 24)
+
+	dt := NewTrainer(1, cfg, 1e-3)
+	distLoss := dt.Step(in, spec, y, mask)
+
+	cfg.Dropout = 0
+	m := model.NewGraphTransformer(cfg)
+	opt := nn.NewAdam(1e-3)
+	opt.ClipNorm = 5
+	logits := m.Forward(in, spec, false)
+	serialLoss, dl := nn.SoftmaxCrossEntropy(logits, y, mask)
+	m.Backward(dl)
+	opt.Step(m.Params())
+
+	if distLoss != serialLoss {
+		t.Fatalf("loss mismatch: dist %v serial %v", distLoss, serialLoss)
+	}
+	ps, pd := m.Params(), dt.replicas[0].Params()
+	for i := range ps {
+		if !ps[i].W.Equal(pd[i].W, 0) {
+			t.Fatalf("param %s diverged from serial training", ps[i].Name)
+		}
+	}
+}
+
+// TestTrainerLearnsAndReplicasStaySynced: multi-rank training must reduce the
+// loss, record communication, and keep all replicas bitwise identical (the
+// all-reduced gradients guarantee).
+func TestTrainerLearnsAndReplicasStaySynced(t *testing.T) {
+	cfg, in, spec, y, mask := distFixture(t, 32)
+	dt := NewTrainer(4, cfg, 2e-3)
+	first := dt.Step(in, spec, y, mask)
+	var last float64
+	for i := 0; i < 3; i++ {
+		last = dt.Step(in, spec, y, mask)
+	}
+	if !(last < first) {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+	if dt.Comm.TotalBytes() == 0 {
+		t.Fatal("no communication recorded")
+	}
+	p0 := dt.replicas[0].Params()
+	for r := 1; r < 4; r++ {
+		pr := dt.replicas[r].Params()
+		for i := range p0 {
+			if !p0[i].W.Equal(pr[i].W, 0) {
+				t.Fatalf("replica %d drifted at %s", r, p0[i].Name)
+			}
+		}
+	}
+}
+
+func TestTrainerRejectsIndivisibleShapes(t *testing.T) {
+	cfg, in, spec, y, mask := distFixture(t, 30) // 30 % 4 != 0
+	dt := NewTrainer(4, cfg, 1e-3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on indivisible sequence")
+		}
+	}()
+	dt.Step(in, spec, y, mask)
+}
+
+func TestPerfAndMemoryModelShapes(t *testing.T) {
+	if RTX3090.MemBytes >= A100.MemBytes {
+		t.Fatal("profile memory ordering")
+	}
+	pm := &PerfModel{HW: A100}
+	shape := ModelShape{Layers: 4, Hidden: 64, Heads: 8, FFNHidden: 256}
+	// dense cost explodes quadratically; cluster-sparse stays near-linear
+	s1, s2 := 64<<10, 256<<10
+	d1 := pm.StepTime(KindDense, int64(s1)*int64(s1), s1, shape, 8).Total
+	d2 := pm.StepTime(KindDense, int64(s2)*int64(s2), s2, shape, 8).Total
+	c1 := pm.StepTime(KindClusterSparse, int64(20*s1), s1, shape, 8).Total
+	c2 := pm.StepTime(KindClusterSparse, int64(20*s2), s2, shape, 8).Total
+	if float64(d2)/float64(d1) < 8 {
+		t.Fatalf("dense scaling too flat: %v -> %v", d1, d2)
+	}
+	if float64(c2)/float64(c1) > 6 {
+		t.Fatalf("cluster-sparse scaling too steep: %v -> %v", c1, c2)
+	}
+	if d1 <= c1 {
+		t.Fatal("cluster-sparse must beat dense at paper scale")
+	}
+	// irregular sparse pays the per-pair penalty
+	sp := pm.StepTime(KindSparse, int64(20*s1), s1, shape, 8).Attn
+	cs := pm.StepTime(KindClusterSparse, int64(20*s1), s1, shape, 8).Attn
+	if sp <= cs {
+		t.Fatal("irregular pattern must cost more than reformed")
+	}
+
+	mm := &MemoryModel{HW: RTX3090}
+	if !mm.WouldOOM(MemDense, 64<<10, int64(20*64<<10), shape, 8) {
+		t.Fatal("paper-scale dense must OOM (Table V)")
+	}
+	raw := mm.MaxSeqLen(MemDense, 20, shape, 1)
+	tgt := mm.MaxSeqLen(MemSparse, 20, shape, 1)
+	if raw < 4<<10 || raw > 64<<10 {
+		t.Fatalf("gp-raw max S out of expected range: %d", raw)
+	}
+	if tgt < 20*raw {
+		t.Fatalf("sparse max S should dwarf dense: %d vs %d", tgt, raw)
+	}
+	// sequence parallelism scales sparse capacity ~linearly
+	tgt8 := mm.MaxSeqLen(MemSparse, 20, shape, 8)
+	if float64(tgt8) < 5*float64(tgt) {
+		t.Fatalf("sparse capacity should scale with GPUs: %d -> %d", tgt, tgt8)
+	}
+}

@@ -1,0 +1,223 @@
+package dist
+
+import "time"
+
+// HardwareProfile is an analytic model of one testbed GPU + interconnect,
+// calibrated to the paper's two clusters. It feeds PerfModel (iteration-time
+// extrapolation) and MemoryModel (the OOM analysis behind Table V/Fig. 9a).
+type HardwareProfile struct {
+	Name string
+	// MemBytes is usable device memory per GPU.
+	MemBytes int64
+	// TFLOPS is peak dense throughput; Efficiency the achievable fraction.
+	TFLOPS     float64
+	Efficiency float64
+	// MemBWGBs is device memory bandwidth (GB/s).
+	MemBWGBs float64
+	// NetGBs is per-GPU interconnect bandwidth (GB/s) for collectives.
+	NetGBs float64
+	// StepOverheadMs is the fixed per-iteration launch/synchronisation cost.
+	StepOverheadMs float64
+	// IrregularSlow is the per-pair slowdown of gather-heavy irregular sparse
+	// access relative to a dense tensor-core pair (Table II's effect: the raw
+	// topology pattern is far costlier per pair than dense attention).
+	IrregularSlow float64
+}
+
+// RTX3090 approximates the paper's 4-server × 2×3090 cluster (PCIe +
+// 10 GbE-class interconnect).
+var RTX3090 = HardwareProfile{
+	Name: "rtx3090-cluster", MemBytes: 24 << 30,
+	TFLOPS: 35.6, Efficiency: 0.35, MemBWGBs: 936, NetGBs: 8,
+	StepOverheadMs: 8, IrregularSlow: 2000,
+}
+
+// A100 approximates the paper's 2-server × 4×A100 cluster (NVLink intra-node,
+// 200 Gb/s IB inter-node).
+var A100 = HardwareProfile{
+	Name: "a100-cluster", MemBytes: 80 << 30,
+	TFLOPS: 156, Efficiency: 0.45, MemBWGBs: 1555, NetGBs: 25,
+	StepOverheadMs: 5, IrregularSlow: 1200,
+}
+
+// ModelShape carries the transformer dimensions the cost models need.
+type ModelShape struct {
+	Layers, Hidden, Heads, FFNHidden int
+}
+
+func (s ModelShape) headDim() int {
+	if s.Heads == 0 {
+		return s.Hidden
+	}
+	return s.Hidden / s.Heads
+}
+
+// ffnFlopsPerToken is the fwd+bwd flop count of the projections + FFN per
+// token per layer (fwd ≈ 2·(4H² + 2HF) MACs; bwd ≈ 2× fwd).
+func (s ModelShape) ffnFlopsPerToken() float64 {
+	f := s.FFNHidden
+	if f == 0 {
+		f = 4 * s.Hidden
+	}
+	return 6 * 2 * float64(4*s.Hidden*s.Hidden+2*s.Hidden*f)
+}
+
+// ParamBytes estimates the weight footprint (fp32) of the shape.
+func (s ModelShape) ParamBytes() int64 {
+	f := s.FFNHidden
+	if f == 0 {
+		f = 4 * s.Hidden
+	}
+	perLayer := int64(4*s.Hidden*s.Hidden + 2*s.Hidden*f)
+	return 4 * perLayer * int64(s.Layers)
+}
+
+// Kind selects the attention kernel family being modelled.
+type Kind int
+
+const (
+	// KindDense is full (or flash) attention: S² pairs at tensor-core rates.
+	KindDense Kind = iota
+	// KindSparse is the raw topology-induced pattern: few pairs, but each
+	// paying the irregular-gather penalty.
+	KindSparse
+	// KindClusterSparse is the reformed kernel: sparse pair counts at
+	// near-dense per-pair cost (the reformation's point).
+	KindClusterSparse
+)
+
+// pairCost is the relative per-pair cost versus a dense tensor-core pair.
+func (hw HardwareProfile) pairCost(k Kind) float64 {
+	switch k {
+	case KindSparse:
+		return hw.IrregularSlow
+	case KindClusterSparse:
+		return 1.25
+	}
+	return 1
+}
+
+// Cost breaks one training iteration into its modelled components.
+type Cost struct {
+	Attn     time.Duration // attention kernels, all layers/heads
+	Other    time.Duration // projections + FFN + norms
+	Comm     time.Duration // sequence-parallel reshards + grad all-reduce
+	Overhead time.Duration // fixed per-step cost
+	Total    time.Duration
+}
+
+// PerfModel predicts iteration time on a hardware profile.
+type PerfModel struct {
+	HW HardwareProfile
+}
+
+// StepTime models one fwd+bwd iteration at sequence length s sharded over
+// `gpus` ranks, with pairsPerHead attended pairs per head per layer.
+func (pm *PerfModel) StepTime(kind Kind, pairsPerHead int64, s int, shape ModelShape, gpus int) Cost {
+	if gpus < 1 {
+		gpus = 1
+	}
+	hw := pm.HW
+	flopRate := hw.TFLOPS * 1e12 * hw.Efficiency
+
+	// Attention: Q·Kᵀ and P·V fwd (2 MACs/pair/dim) + ~2× for backward.
+	attnFlops := 12 * float64(pairsPerHead) * float64(shape.Heads) * float64(shape.headDim()) * float64(shape.Layers)
+	attnSec := attnFlops * hw.pairCost(kind) / flopRate / float64(gpus)
+
+	otherSec := float64(s) * shape.ffnFlopsPerToken() * float64(shape.Layers) / flopRate / float64(gpus)
+
+	var commSec float64
+	if gpus > 1 {
+		// Ulysses resharding: 4 all-to-alls fwd + 4 bwd per layer, each moving
+		// (S/P)·H·4 bytes per rank with the (P−1)/P off-rank fraction.
+		reshard := 8 * float64(shape.Layers) * float64(s) / float64(gpus) *
+			float64(shape.Hidden) * 4 * float64(gpus-1) / float64(gpus)
+		// Ring all-reduce of weight gradients: 2·paramBytes per rank.
+		allreduce := 2 * float64(shape.ParamBytes())
+		commSec = (reshard + allreduce) / (hw.NetGBs * 1e9)
+	}
+
+	c := Cost{
+		Attn:     time.Duration(attnSec * float64(time.Second)),
+		Other:    time.Duration(otherSec * float64(time.Second)),
+		Comm:     time.Duration(commSec * float64(time.Second)),
+		Overhead: time.Duration(hw.StepOverheadMs * float64(time.Millisecond)),
+	}
+	c.Total = c.Attn + c.Other + c.Comm + c.Overhead
+	return c
+}
+
+// MemKind selects the attention memory regime being modelled.
+type MemKind int
+
+const (
+	// MemDense stores the S×S attention probabilities for backward (GP-Raw).
+	MemDense MemKind = iota
+	// MemSparse stores per-pattern-entry state only (GP-Sparse / TorchGT).
+	MemSparse
+)
+
+// MemoryModel predicts peak per-GPU training memory — the paper's OOM
+// analysis (Table V "OOM" rows, Fig. 9a max sequence lengths).
+type MemoryModel struct {
+	HW HardwareProfile
+}
+
+// PeakBytes estimates per-GPU peak memory at sequence length s with `pairs`
+// attended pairs per head per layer, sequence-sharded over `gpus`.
+func (mm *MemoryModel) PeakBytes(kind MemKind, s int, pairs int64, shape ModelShape, gpus int) int64 {
+	if gpus < 1 {
+		gpus = 1
+	}
+	f := shape.FFNHidden
+	if f == 0 {
+		f = 4 * shape.Hidden
+	}
+	// Weights + grads + Adam moments, replicated per rank.
+	static := 4 * shape.ParamBytes()
+	// Cached layer activations, sharded by sequence.
+	act := int64(s) / int64(gpus) * int64(shape.Layers) * 4 * int64(10*shape.Hidden+2*f)
+	// Attention state kept for backward (probabilities + score grads).
+	var attn int64
+	switch kind {
+	case MemDense:
+		attn = 4 * int64(s) * int64(s) / int64(gpus) * int64(shape.Heads) * int64(shape.Layers)
+	case MemSparse:
+		attn = 2 * 4 * pairs / int64(gpus) * int64(shape.Heads) * int64(shape.Layers)
+	}
+	return static + act + attn
+}
+
+// WouldOOM reports whether the modelled peak exceeds device memory.
+func (mm *MemoryModel) WouldOOM(kind MemKind, s int, pairs int64, shape ModelShape, gpus int) bool {
+	return mm.PeakBytes(kind, s, pairs, shape, gpus) > mm.HW.MemBytes
+}
+
+// MaxSeqLen finds the largest sequence length (to ~1% resolution) that fits
+// in memory, with attended pairs growing as avgDeg·S for the sparse regime
+// (and S² for the dense one).
+func (mm *MemoryModel) MaxSeqLen(kind MemKind, avgDeg float64, shape ModelShape, gpus int) int {
+	pairsAt := func(s int) int64 {
+		if kind == MemDense {
+			return int64(s) * int64(s)
+		}
+		return int64(avgDeg * float64(s))
+	}
+	lo, hi := 1, 2
+	for mm.PeakBytes(kind, hi, pairsAt(hi), shape, gpus) <= mm.HW.MemBytes {
+		lo = hi
+		hi *= 2
+		if hi > 1<<31 {
+			return lo
+		}
+	}
+	for hi-lo > lo/128+1 {
+		mid := lo + (hi-lo)/2
+		if mm.PeakBytes(kind, mid, pairsAt(mid), shape, gpus) <= mm.HW.MemBytes {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,252 @@
+package dist
+
+import (
+	"fmt"
+
+	"torchgt/internal/attention"
+	"torchgt/internal/model"
+	"torchgt/internal/nn"
+	"torchgt/internal/tensor"
+)
+
+// Trainer is the channel-based P-worker runtime implementing the paper's
+// Cluster-aware Graph Parallelism (§III-C): every rank owns S/P sequence rows
+// for all row-wise layers, each attention layer reshards sequence↔heads with
+// two all-to-alls per direction (Ulysses-style) so every rank computes
+// Heads/P full-sequence heads, and weight gradients are all-reduced so the P
+// model replicas stay bitwise identical. It is numerically real — the same
+// kernels as the single-node path, just sharded.
+type Trainer struct {
+	P    int
+	Comm *Comm
+	LR   float64
+
+	replicas []*model.GraphTransformer
+	opts     []*nn.Adam
+	wss      []*tensor.Workspace
+	state    [][]*layerState // [rank][layer]
+}
+
+// layerState caches one rank's per-layer attention kernels between the
+// forward and backward halves of a step.
+type layerState struct {
+	kernels []attention.Kernel // one per worker-local head
+}
+
+// NewTrainer builds a P-worker trainer with identical model replicas (the
+// distributed runner is dropout-free, mirroring deterministic sharded
+// training).
+func NewTrainer(p int, cfg model.Config, lr float64) *Trainer {
+	if p < 1 {
+		p = 1
+	}
+	cfg.Dropout = 0
+	t := &Trainer{P: p, Comm: NewComm(p), LR: lr}
+	for r := 0; r < p; r++ {
+		g := model.NewGraphTransformer(cfg)
+		if g.Global != nil {
+			panic("dist: trainer supports node-level models only (no global token)")
+		}
+		t.replicas = append(t.replicas, g)
+		opt := nn.NewAdam(lr)
+		opt.ClipNorm = 5
+		t.opts = append(t.opts, opt)
+		t.wss = append(t.wss, tensor.NewWorkspace())
+		t.state = append(t.state, make([]*layerState, len(g.Blocks)))
+	}
+	return t
+}
+
+// Step runs one synchronous training iteration over the full sequence and
+// returns the mean training loss.
+func (t *Trainer) Step(in *model.Inputs, spec *model.AttentionSpec, y []int32, mask []bool) float64 {
+	s := in.X.Rows
+	heads := t.replicas[0].Cfg.Heads
+	if s%t.P != 0 {
+		panic(fmt.Sprintf("dist: sequence %d not divisible by %d workers", s, t.P))
+	}
+	if heads%t.P != 0 {
+		panic(fmt.Sprintf("dist: heads %d not divisible by %d workers", heads, t.P))
+	}
+	// Previous step's buffers are released here, after every rank has stopped
+	// reading its peers' send buffers (Run is a full barrier).
+	for _, ws := range t.wss {
+		ws.Reset()
+	}
+	losses := make([]float64, t.P)
+	Run(t.P, func(rank int) {
+		losses[rank] = t.runRank(rank, in, spec, y, mask)
+	})
+	var mean float64
+	for _, l := range losses {
+		mean += l
+	}
+	return mean / float64(t.P)
+}
+
+// runRank executes one rank's forward, backward and synchronised update.
+func (t *Trainer) runRank(rank int, in *model.Inputs, spec *model.AttentionSpec, y []int32, mask []bool) float64 {
+	g := t.replicas[rank]
+	ws := t.wss[rank]
+	s := in.X.Rows
+	lo, hi := rank*s/t.P, (rank+1)*s/t.P
+
+	// ---- forward: embedding on local rows ----
+	h := g.InProj.Forward(in.X.SliceRows(lo, hi))
+	if g.DegIn != nil {
+		tensor.AddInPlace(h, g.DegIn.Forward(in.DegInIdx[lo:hi]))
+		tensor.AddInPlace(h, g.DegOut.Forward(in.DegOutIdx[lo:hi]))
+	}
+	if g.LapProj != nil {
+		tensor.AddInPlace(h, g.LapProj.Forward(in.LapPE.SliceRows(lo, hi)))
+	}
+	for l, b := range g.Blocks {
+		h = t.blockForward(rank, l, b, h, spec, s, ws)
+	}
+	h = g.FinalLN.Forward(h)
+	logits := g.Head.Forward(h)
+	var maskLoc []bool
+	if mask != nil {
+		maskLoc = mask[lo:hi]
+	}
+	loss, dl := nn.SoftmaxCrossEntropy(logits, y[lo:hi], maskLoc)
+
+	// ---- backward ----
+	dh := g.FinalLN.Backward(g.Head.Backward(dl))
+	for l := len(g.Blocks) - 1; l >= 0; l-- {
+		dh = t.blockBackward(rank, l, g.Blocks[l], dh, spec, s, ws)
+	}
+	if g.LapProj != nil {
+		g.LapProj.Backward(dh)
+	}
+	if g.DegIn != nil {
+		g.DegIn.Backward(dh)
+		g.DegOut.Backward(dh)
+	}
+	g.InProj.Backward(dh)
+
+	// ---- synchronised update: identical grads ⇒ identical replicas ----
+	params := g.Params()
+	grads := make([]*tensor.Mat, len(params))
+	for i, p := range params {
+		grads[i] = p.Grad
+	}
+	t.Comm.AllReduce(rank, grads)
+	t.opts[rank].Step(params)
+	return loss
+}
+
+// blockForward mirrors model.Block.Forward on a sequence shard (dropout-free).
+func (t *Trainer) blockForward(rank, layer int, b *model.Block, x *tensor.Mat, spec *model.AttentionSpec, s int, ws *tensor.Workspace) *tensor.Mat {
+	h := t.mhaForward(rank, layer, b.Attn, b.LN1.Forward(x), spec, s, ws)
+	x1 := ws.GetUninit(x.Rows, x.Cols)
+	tensor.Add(x1, x, h)
+	f := b.FC2.Forward(b.Act.Forward(b.FC1.Forward(b.LN2.Forward(x1))))
+	out := ws.GetUninit(x.Rows, x.Cols)
+	tensor.Add(out, x1, f)
+	return out
+}
+
+// blockBackward mirrors model.Block.Backward on a sequence shard.
+func (t *Trainer) blockBackward(rank, layer int, b *model.Block, dOut *tensor.Mat, spec *model.AttentionSpec, s int, ws *tensor.Workspace) *tensor.Mat {
+	dx1 := b.LN2.Backward(b.FC1.Backward(b.Act.Backward(b.FC2.Backward(dOut))))
+	tensor.AddInPlace(dx1, dOut)
+	dx := b.LN1.Backward(t.mhaBackward(rank, layer, b.Attn, dx1, spec, s, ws))
+	tensor.AddInPlace(dx, dx1)
+	return dx
+}
+
+// mhaForward runs multi-head attention with Ulysses resharding: projections
+// on local rows, all-to-all to worker-local heads over the full sequence,
+// attention per local head, all-to-all back to local rows, output projection.
+func (t *Trainer) mhaForward(rank, layer int, m *model.MHA, x *tensor.Mat, spec *model.AttentionSpec, s int, ws *tensor.Workspace) *tensor.Mat {
+	q := m.WQ.Forward(x)
+	k := m.WK.Forward(x)
+	v := m.WV.Forward(x)
+	qh := t.reshardToHeads(rank, q, ws)
+	kh := t.reshardToHeads(rank, k, ws)
+	vh := t.reshardToHeads(rank, v, ws)
+
+	hp := m.Heads / t.P // heads per rank
+	st := &layerState{kernels: make([]attention.Kernel, hp)}
+	t.state[rank][layer] = st
+	concat := ws.GetUninit(s, hp*m.Dh)
+	for j := 0; j < hp; j++ {
+		head := rank*hp + j
+		kr := attention.WithWorkspace(m.KernelFor(head, spec, s), ws)
+		st.kernels[j] = kr
+		oj := kr.Forward(cols(ws, qh, j*m.Dh, m.Dh), cols(ws, kh, j*m.Dh, m.Dh), cols(ws, vh, j*m.Dh, m.Dh))
+		setCols(concat, oj, j*m.Dh)
+	}
+	return m.WO.Forward(t.reshardToRows(rank, concat, ws))
+}
+
+// mhaBackward runs the mirrored backward pass (transposed all-to-alls).
+func (t *Trainer) mhaBackward(rank, layer int, m *model.MHA, dOut *tensor.Mat, spec *model.AttentionSpec, s int, ws *tensor.Workspace) *tensor.Mat {
+	dConcatHeads := t.reshardToHeads(rank, m.WO.Backward(dOut), ws)
+	hp := m.Heads / t.P
+	st := t.state[rank][layer]
+	dqh := ws.GetUninit(s, hp*m.Dh)
+	dkh := ws.GetUninit(s, hp*m.Dh)
+	dvh := ws.GetUninit(s, hp*m.Dh)
+	for j := 0; j < hp; j++ {
+		head := rank*hp + j
+		dqj, dkj, dvj := st.kernels[j].Backward(cols(ws, dConcatHeads, j*m.Dh, m.Dh))
+		setCols(dqh, dqj, j*m.Dh)
+		setCols(dkh, dkj, j*m.Dh)
+		setCols(dvh, dvj, j*m.Dh)
+		m.AccumBiasGrads(head, st.kernels[j], spec)
+	}
+	dx := m.WQ.Backward(t.reshardToRows(rank, dqh, ws))
+	tensor.AddInPlace(dx, m.WK.Backward(t.reshardToRows(rank, dkh, ws)))
+	tensor.AddInPlace(dx, m.WV.Backward(t.reshardToRows(rank, dvh, ws)))
+	return dx
+}
+
+// reshardToHeads turns a local-rows shard (S/P × H) into the full sequence
+// restricted to this rank's head columns (S × H/P) with one all-to-all.
+func (t *Trainer) reshardToHeads(rank int, local *tensor.Mat, ws *tensor.Workspace) *tensor.Mat {
+	hp := local.Cols / t.P
+	parts := make([]*tensor.Mat, t.P)
+	for d := 0; d < t.P; d++ {
+		parts[d] = cols(ws, local, d*hp, hp)
+	}
+	recv := t.Comm.AllToAll(rank, parts)
+	out := ws.GetUninit(local.Rows*t.P, hp)
+	for r := 0; r < t.P; r++ {
+		copy(out.Data[r*local.Rows*hp:], recv[r].Data)
+	}
+	return out
+}
+
+// reshardToRows is the inverse: full-sequence local-head columns (S × H/P)
+// back to the rank's row shard across all heads (S/P × H).
+func (t *Trainer) reshardToRows(rank int, headsMat *tensor.Mat, ws *tensor.Workspace) *tensor.Mat {
+	rows := headsMat.Rows / t.P
+	parts := make([]*tensor.Mat, t.P)
+	for d := 0; d < t.P; d++ {
+		parts[d] = headsMat.SliceRows(d*rows, (d+1)*rows)
+	}
+	recv := t.Comm.AllToAll(rank, parts)
+	out := ws.GetUninit(rows, headsMat.Cols*t.P)
+	for r := 0; r < t.P; r++ {
+		setCols(out, recv[r], r*headsMat.Cols)
+	}
+	return out
+}
+
+// cols copies columns [c0, c0+w) into a workspace matrix.
+func cols(ws *tensor.Workspace, src *tensor.Mat, c0, w int) *tensor.Mat {
+	out := ws.GetUninit(src.Rows, w)
+	for i := 0; i < src.Rows; i++ {
+		copy(out.Row(i), src.Row(i)[c0:c0+w])
+	}
+	return out
+}
+
+// setCols copies src into dst columns [c0, c0+src.Cols).
+func setCols(dst, src *tensor.Mat, c0 int) {
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Row(i)[c0:c0+src.Cols], src.Row(i))
+	}
+}

@@ -18,6 +18,14 @@ type Block struct {
 	Act      *nn.GELU
 	Drop1    *nn.Dropout
 	Drop2    *nn.Dropout
+
+	rt *Runtime
+}
+
+// SetRuntime attaches the execution engine to the block and its attention.
+func (b *Block) SetRuntime(rt *Runtime) {
+	b.rt = rt
+	b.Attn.SetRuntime(rt)
 }
 
 // NewBlock constructs a transformer block.
@@ -39,16 +47,19 @@ func (b *Block) Params() []*nn.Param {
 	return nn.CollectParams(b.LN1, b.Attn, b.LN2, b.FC1, b.FC2)
 }
 
-// Forward runs the block.
+// Forward runs the block. Residual-sum buffers come from the runtime's
+// step workspace; they are consumed within the step (the next layer caches
+// what its backward needs), so pooling them is safe.
 func (b *Block) Forward(x *tensor.Mat, spec *AttentionSpec, train bool) *tensor.Mat {
+	ws := b.rt.workspace(0)
 	h := b.Attn.Forward(b.LN1.Forward(x), spec)
 	h = b.Drop1.Forward(h, train)
-	x1 := tensor.New(x.Rows, x.Cols)
+	x1 := ws.GetUninit(x.Rows, x.Cols)
 	tensor.Add(x1, x, h)
 
 	f := b.FC2.Forward(b.Act.Forward(b.FC1.Forward(b.LN2.Forward(x1))))
 	f = b.Drop2.Forward(f, train)
-	out := tensor.New(x.Rows, x.Cols)
+	out := ws.GetUninit(x.Rows, x.Cols)
 	tensor.Add(out, x1, f)
 	return out
 }

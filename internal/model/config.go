@@ -138,9 +138,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// colSlice copies columns [c0, c0+w) of src into a new R×w matrix.
-func colSlice(src *tensor.Mat, c0, w int) *tensor.Mat {
-	out := tensor.New(src.Rows, w)
+// colSlice copies columns [c0, c0+w) of src into an R×w matrix drawn from ws
+// (heap-allocated when ws is nil).
+func colSlice(ws *tensor.Workspace, src *tensor.Mat, c0, w int) *tensor.Mat {
+	out := ws.GetUninit(src.Rows, w)
 	for i := 0; i < src.Rows; i++ {
 		copy(out.Row(i), src.Row(i)[c0:c0+w])
 	}

@@ -36,8 +36,8 @@ func newSpmm(g *graph.Graph) *spmm {
 	return &spmm{g: gl, coef: coef}
 }
 
-func (s *spmm) apply(x *tensor.Mat) *tensor.Mat {
-	y := tensor.New(x.Rows, x.Cols)
+func (s *spmm) apply(ws *tensor.Workspace, x *tensor.Mat) *tensor.Mat {
+	y := ws.Get(x.Rows, x.Cols)
 	tensor.ParallelFor(s.g.N, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			yi := y.Row(i)
@@ -57,7 +57,12 @@ type GCN struct {
 	Act      *nn.ReLU
 	Drop     *nn.Dropout
 	hidCache *tensor.Mat
+
+	rt *Runtime
 }
+
+// SetRuntime attaches an execution engine (nil → unpooled).
+func (m *GCN) SetRuntime(rt *Runtime) { m.rt = rt }
 
 // NewGCN builds the baseline for graph g.
 func NewGCN(g *graph.Graph, inDim, hidden, outDim int, dropout float64, seed int64) *GCN {
@@ -68,6 +73,7 @@ func NewGCN(g *graph.Graph, inDim, hidden, outDim int, dropout float64, seed int
 		L2:   nn.NewLinear("gcn.l2", hidden, outDim, true, rng),
 		Act:  &nn.ReLU{},
 		Drop: nn.NewDropout(dropout, seed+1),
+		rt:   DefaultRuntime(),
 	}
 }
 
@@ -76,18 +82,22 @@ func (m *GCN) Params() []*nn.Param { return nn.CollectParams(m.L1, m.L2) }
 
 // Forward computes node logits.
 func (m *GCN) Forward(x *tensor.Mat, train bool) *tensor.Mat {
-	h := m.Act.Forward(m.L1.Forward(m.A.apply(x)))
+	m.rt.StepReset()
+	ws := m.rt.workspace(0)
+	h := m.Act.Forward(m.L1.Forward(m.A.apply(ws, x)))
 	h = m.Drop.Forward(h, train)
 	m.hidCache = h
-	return m.L2.Forward(m.A.apply(h))
+	return m.L2.Forward(m.A.apply(ws, h))
 }
 
-// Backward accumulates parameter gradients from dLogits.
+// Backward accumulates parameter gradients from dLogits. The gradient
+// w.r.t. the input features is never propagated further, so it is not
+// computed.
 func (m *GCN) Backward(dLogits *tensor.Mat) {
-	dh := m.A.apply(m.L2.Backward(dLogits)) // Â symmetric
+	ws := m.rt.workspace(0)
+	dh := m.A.apply(ws, m.L2.Backward(dLogits)) // Â symmetric
 	dh = m.Drop.Backward(dh)
-	dx := m.L1.Backward(m.Act.Backward(dh))
-	_ = m.A.apply(dx) // gradient w.r.t. features, unused
+	m.L1.Backward(m.Act.Backward(dh))
 }
 
 // GAT is a 2-layer graph attention baseline. As documented in DESIGN.md it
@@ -104,7 +114,12 @@ type GAT struct {
 	Out        *nn.Linear
 	Act        *nn.ReLU
 	att1, att2 *attention.Sparse
+
+	rt *Runtime
 }
+
+// SetRuntime attaches an execution engine (nil → unpooled).
+func (m *GAT) SetRuntime(rt *Runtime) { m.rt = rt }
 
 // NewGAT builds the baseline over graph g.
 func NewGAT(g *graph.Graph, inDim, hidden, outDim int, seed int64) *GAT {
@@ -120,6 +135,7 @@ func NewGAT(g *graph.Graph, inDim, hidden, outDim int, seed int64) *GAT {
 		WV2: nn.NewLinear("gat.v2", hidden, hidden, true, rng),
 		Out: nn.NewLinear("gat.out", hidden, outDim, true, rng),
 		Act: &nn.ReLU{},
+		rt:  DefaultRuntime(),
 	}
 }
 
@@ -130,10 +146,14 @@ func (m *GAT) Params() []*nn.Param {
 
 // Forward computes node logits.
 func (m *GAT) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	m.rt.StepReset()
+	ws := m.rt.workspace(0)
 	m.att1 = attention.NewSparse(m.P)
+	m.att1.SetWorkspace(ws)
 	h := m.att1.Forward(m.WQ1.Forward(x), m.WK1.Forward(x), m.WV1.Forward(x))
 	h = m.Act.Forward(h)
 	m.att2 = attention.NewSparse(m.P)
+	m.att2.SetWorkspace(ws)
 	h2 := m.att2.Forward(m.WQ2.Forward(h), m.WK2.Forward(h), m.WV2.Forward(h))
 	return m.Out.Forward(h2)
 }
@@ -162,7 +182,12 @@ type GCNGraph struct {
 	a        *spmm
 	poolRows int
 	hid      *tensor.Mat
+
+	rt *Runtime
 }
+
+// SetRuntime attaches an execution engine (nil → unpooled).
+func (m *GCNGraph) SetRuntime(rt *Runtime) { m.rt = rt }
 
 // NewGCNGraph builds the baseline.
 func NewGCNGraph(inDim, hidden, outDim int, seed int64) *GCNGraph {
@@ -172,6 +197,7 @@ func NewGCNGraph(inDim, hidden, outDim int, seed int64) *GCNGraph {
 		L2:   nn.NewLinear("gcng.l2", hidden, hidden, true, rng),
 		Head: nn.NewLinear("gcng.head", hidden, outDim, true, rng),
 		Act:  &nn.ReLU{},
+		rt:   DefaultRuntime(),
 	}
 }
 
@@ -180,12 +206,14 @@ func (m *GCNGraph) Params() []*nn.Param { return nn.CollectParams(m.L1, m.L2, m.
 
 // Forward computes one graph's output (1×OutDim) via mean pooling.
 func (m *GCNGraph) Forward(g *graph.Graph, x *tensor.Mat) *tensor.Mat {
+	m.rt.StepReset()
+	ws := m.rt.workspace(0)
 	m.a = newSpmm(g)
-	h := m.Act.Forward(m.L1.Forward(m.a.apply(x)))
-	h = m.L2.Forward(m.a.apply(h))
+	h := m.Act.Forward(m.L1.Forward(m.a.apply(ws, x)))
+	h = m.L2.Forward(m.a.apply(ws, h))
 	m.hid = h
 	m.poolRows = h.Rows
-	pooled := tensor.New(1, h.Cols)
+	pooled := ws.Get(1, h.Cols)
 	for i := 0; i < h.Rows; i++ {
 		tensor.Axpy(1.0/float32(h.Rows), h.Row(i), pooled.Row(0))
 	}
@@ -194,13 +222,13 @@ func (m *GCNGraph) Forward(g *graph.Graph, x *tensor.Mat) *tensor.Mat {
 
 // Backward accumulates gradients from dOut (1×OutDim).
 func (m *GCNGraph) Backward(dOut *tensor.Mat) {
+	ws := m.rt.workspace(0)
 	dPooled := m.Head.Backward(dOut)
-	dh := tensor.New(m.poolRows, dPooled.Cols)
+	dh := ws.Get(m.poolRows, dPooled.Cols)
 	for i := 0; i < m.poolRows; i++ {
 		tensor.Axpy(1.0/float32(m.poolRows), dPooled.Row(0), dh.Row(i))
 	}
-	dh = m.a.apply(m.L2.Backward(dh))
+	dh = m.a.apply(ws, m.L2.Backward(dh))
 	dh = m.Act.Backward(dh)
 	m.L1.Backward(dh)
-	_ = m.a.apply(tensor.New(m.poolRows, m.L1.In)) // feature grads unused
 }

@@ -12,15 +12,23 @@ import (
 // SPD bias tables (one scalar per bucket per head, shared across layers in
 // Graphormer; we keep one table per layer for simplicity and note the
 // difference in DESIGN.md).
+//
+// Execution is driven by the attached Runtime: heads fan out across worker
+// slots, each head drawing its kernel scratch from the slot's workspace.
+// Heads are fully independent — they read shared Q/K/V and write disjoint
+// column ranges of the shared output (and disjoint bias-table gradient
+// entries, since every index is ≡ head (mod Heads)) — so the fan-out is
+// race-free and bitwise identical to the sequential order.
 type MHA struct {
 	Hidden, Heads, Dh int
 	WQ, WK, WV, WO    *nn.Linear
 	BiasTable         *nn.Embedding // NumBuckets×Heads, nil when bias disabled
 
+	rt *Runtime
+
 	// per-forward state
 	kernels []attention.Kernel
 	spec    *AttentionSpec
-	dhCache int
 }
 
 // NewMHA builds the projections (and bias table when numBuckets > 0).
@@ -38,6 +46,10 @@ func NewMHA(name string, hidden, heads, numBuckets int, rng *rand.Rand) *MHA {
 	return m
 }
 
+// SetRuntime attaches the execution engine (nil reverts to sequential,
+// unpooled execution).
+func (m *MHA) SetRuntime(rt *Runtime) { m.rt = rt }
+
 // Params implements nn.Module.
 func (m *MHA) Params() []*nn.Param {
 	ps := nn.CollectParams(m.WQ, m.WK, m.WV, m.WO)
@@ -51,24 +63,25 @@ func (m *MHA) Params() []*nn.Param {
 // wiring head-specific bias values in. Exported for the distributed runtime,
 // which creates kernels per worker-local head.
 func (m *MHA) KernelFor(head int, spec *AttentionSpec, s int) attention.Kernel {
-	return m.newKernel(head, spec, s)
+	return m.newKernel(head, spec, s, nil)
 }
 
-// newKernel instantiates the kernel for one head according to the spec.
-func (m *MHA) newKernel(head int, spec *AttentionSpec, s int) attention.Kernel {
-	k := m.newKernelInner(head, spec, s)
+// newKernel instantiates the kernel for one head according to the spec,
+// drawing bias scratch from ws.
+func (m *MHA) newKernel(head int, spec *AttentionSpec, s int, ws *tensor.Workspace) attention.Kernel {
+	k := m.newKernelInner(head, spec, s, ws)
 	if spec.BF16 && spec.Mode != ModeFlashBF16 {
-		return &attention.BF16Wrap{Inner: k}
+		k = &attention.BF16Wrap{Inner: k}
 	}
-	return k
+	return attention.WithWorkspace(k, ws)
 }
 
-func (m *MHA) newKernelInner(head int, spec *AttentionSpec, s int) attention.Kernel {
+func (m *MHA) newKernelInner(head int, spec *AttentionSpec, s int, ws *tensor.Workspace) attention.Kernel {
 	switch spec.Mode {
 	case ModeDense:
 		d := attention.NewDense()
 		if m.BiasTable != nil && spec.DenseBuckets != nil {
-			bias := tensor.New(s, s)
+			bias := ws.GetUninit(s, s)
 			for i := 0; i < s; i++ {
 				row := bias.Row(i)
 				for j := 0; j < s; j++ {
@@ -85,7 +98,7 @@ func (m *MHA) newKernelInner(head int, spec *AttentionSpec, s int) attention.Ker
 	case ModeSparse:
 		sp := attention.NewSparse(spec.Pattern)
 		if m.BiasTable != nil && spec.EdgeBuckets != nil {
-			bias := make([]float32, len(spec.EdgeBuckets))
+			bias := ws.GetVec(len(spec.EdgeBuckets))
 			for e, b := range spec.EdgeBuckets {
 				bias[e] = m.BiasTable.W.W.At(int(b), head)
 			}
@@ -96,7 +109,7 @@ func (m *MHA) newKernelInner(head int, spec *AttentionSpec, s int) attention.Ker
 		cs := attention.NewClusterSparse(spec.Reformed)
 		if m.BiasTable != nil {
 			if spec.KeepBuckets != nil {
-				bias := make([]float32, len(spec.KeepBuckets))
+				bias := ws.GetVec(len(spec.KeepBuckets))
 				for e, b := range spec.KeepBuckets {
 					bias[e] = m.BiasTable.W.W.At(int(b), head)
 				}
@@ -114,7 +127,8 @@ func (m *MHA) newKernelInner(head int, spec *AttentionSpec, s int) attention.Ker
 	panic("model: unknown attention mode")
 }
 
-// Forward runs multi-head attention over x (S×Hidden) using spec's kernels.
+// Forward runs multi-head attention over x (S×Hidden) using spec's kernels,
+// fanning heads out across the runtime's workers.
 func (m *MHA) Forward(x *tensor.Mat, spec *AttentionSpec) *tensor.Mat {
 	if err := spec.Validate(x.Rows); err != nil {
 		panic(err)
@@ -124,49 +138,51 @@ func (m *MHA) Forward(x *tensor.Mat, spec *AttentionSpec) *tensor.Mat {
 	q := m.WQ.Forward(x)
 	k := m.WK.Forward(x)
 	v := m.WV.Forward(x)
-	m.kernels = make([]attention.Kernel, m.Heads)
-	concat := tensor.New(s, m.Hidden)
-	for h := 0; h < m.Heads; h++ {
-		qh := colSlice(q, h*m.Dh, m.Dh)
-		kh := colSlice(k, h*m.Dh, m.Dh)
-		vh := colSlice(v, h*m.Dh, m.Dh)
-		kr := m.newKernel(h, spec, s)
+	if len(m.kernels) != m.Heads {
+		m.kernels = make([]attention.Kernel, m.Heads)
+	}
+	concat := m.rt.workspace(0).Get(s, m.Hidden)
+	m.rt.forEachHead(m.Heads, func(h int, ws *tensor.Workspace) {
+		qh := colSlice(ws, q, h*m.Dh, m.Dh)
+		kh := colSlice(ws, k, h*m.Dh, m.Dh)
+		vh := colSlice(ws, v, h*m.Dh, m.Dh)
+		kr := m.newKernel(h, spec, s, ws)
 		m.kernels[h] = kr
 		oh := kr.Forward(qh, kh, vh)
 		addColSlice(concat, oh, h*m.Dh)
-	}
+	})
 	return m.WO.Forward(concat)
 }
 
-// Backward propagates through WO, each head's kernel and the projections,
-// accumulating bias-table gradients, and returns dX.
+// Backward propagates through WO, each head's kernel and the projections
+// (heads again fanned out over workers), accumulating bias-table gradients,
+// and returns dX.
 func (m *MHA) Backward(dout *tensor.Mat) *tensor.Mat {
 	dConcat := m.WO.Backward(dout)
 	s := dConcat.Rows
-	dq := tensor.New(s, m.Hidden)
-	dk := tensor.New(s, m.Hidden)
-	dv := tensor.New(s, m.Hidden)
-	for h := 0; h < m.Heads; h++ {
-		dOh := colSlice(dConcat, h*m.Dh, m.Dh)
+	ws0 := m.rt.workspace(0)
+	dq := ws0.Get(s, m.Hidden)
+	dk := ws0.Get(s, m.Hidden)
+	dv := ws0.Get(s, m.Hidden)
+	m.rt.forEachHead(m.Heads, func(h int, ws *tensor.Workspace) {
+		dOh := colSlice(ws, dConcat, h*m.Dh, m.Dh)
 		dqh, dkh, dvh := m.kernels[h].Backward(dOh)
 		addColSlice(dq, dqh, h*m.Dh)
 		addColSlice(dk, dkh, h*m.Dh)
 		addColSlice(dv, dvh, h*m.Dh)
-		m.accumBiasGrads(h)
-	}
+		// Safe under head parallelism: every touched gradient index is
+		// ≡ h (mod Heads), so heads write disjoint entries.
+		m.AccumBiasGrads(h, m.kernels[h], m.spec)
+	})
 	dx := m.WQ.Backward(dq)
 	tensor.AddInPlace(dx, m.WK.Backward(dk))
 	tensor.AddInPlace(dx, m.WV.Backward(dv))
 	return dx
 }
 
-// accumBiasGrads scatters kernel bias gradients into the bias table.
-func (m *MHA) accumBiasGrads(head int) {
-	m.AccumBiasGrads(head, m.kernels[head], m.spec)
-}
-
 // AccumBiasGrads scatters one head-kernel's bias gradients into the bias
-// table (exported for the distributed runtime).
+// table (exported for the distributed runtime). All indices written are
+// ≡ head (mod Heads), keeping concurrent per-head calls race-free.
 func (m *MHA) AccumBiasGrads(head int, kernel attention.Kernel, spec *AttentionSpec) {
 	if m.BiasTable == nil || kernel == nil {
 		return

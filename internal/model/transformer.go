@@ -24,7 +24,22 @@ type GraphTransformer struct {
 	Head     *nn.Linear
 	InDrop   *nn.Dropout
 	numToken int // cached sequence length incl. global token
+
+	rt *Runtime
 }
+
+// SetRuntime swaps the execution engine (head parallelism + workspace
+// pooling) for the model and all of its blocks. A nil runtime reverts to
+// sequential, unpooled execution.
+func (g *GraphTransformer) SetRuntime(rt *Runtime) {
+	g.rt = rt
+	for _, b := range g.Blocks {
+		b.SetRuntime(rt)
+	}
+}
+
+// Runtime reports the model's execution engine.
+func (g *GraphTransformer) Runtime() *Runtime { return g.rt }
 
 // Inputs carries per-step input tensors alongside features.
 type Inputs struct {
@@ -63,6 +78,7 @@ func NewGraphTransformer(cfg Config) *GraphTransformer {
 	gt.FinalLN = nn.NewLayerNorm(cfg.Name+".lnf", cfg.Hidden)
 	gt.Head = nn.NewLinear(cfg.Name+".head", cfg.Hidden, cfg.OutDim, true, rng)
 	gt.InDrop = nn.NewDropout(cfg.Dropout, rng.Int63())
+	gt.SetRuntime(DefaultRuntime())
 	return gt
 }
 
@@ -112,7 +128,13 @@ func (g *GraphTransformer) embed(in *Inputs, train bool) *tensor.Mat {
 
 // Forward computes logits: node-level → S×OutDim (global-token row dropped);
 // graph-level (GlobalToken set) → 1×OutDim from the readout token.
+//
+// Forward recycles the previous step's workspace buffers: anything the
+// caller keeps across steps (logits, dX) lives on the heap, while per-step
+// attention scratch returns to the pool here. Forward → Backward pairs
+// within one step therefore see stable buffers.
 func (g *GraphTransformer) Forward(in *Inputs, spec *AttentionSpec, train bool) *tensor.Mat {
+	g.rt.StepReset()
 	h := g.embed(in, train)
 	for _, b := range g.Blocks {
 		h = b.Forward(h, spec, train)

@@ -15,6 +15,12 @@ func RoundBF16(v float32) float32 {
 	}
 	lsb := (bits >> 16) & 1
 	rounded := bits + 0x7fff + lsb
+	// Saturate finite values that would round past the largest finite bf16
+	// (|v| > (2−2⁻⁷)·2¹²⁷) instead of overflowing to ±Inf, keeping the
+	// conversion's relative error bounded by 2⁻⁸ for all normal inputs.
+	if rounded&0x7f800000 == 0x7f800000 {
+		return math.Float32frombits(bits&0x80000000 | 0x7f7f0000)
+	}
 	return math.Float32frombits(rounded &^ 0xffff)
 }
 

@@ -5,9 +5,20 @@ import (
 	"math"
 )
 
+// blockPanel is the shared-operand panel height of the blocked matmul
+// kernels: the loops over the reduction (or broadcast) dimension are tiled so
+// that a panel of blockPanel rows of the shared operand stays cache-resident
+// while every row of the worker's chunk consumes it. 128 rows × typical
+// hidden widths keeps a panel well inside L2 without starving L1.
+const blockPanel = 128
+
 // MatMul computes C = A·B. C must be pre-allocated with shape A.Rows×B.Cols;
-// it is overwritten. The kernel is parallelised over rows of A and uses an
-// ikj loop order so the innermost loop streams rows of B.
+// it is overwritten. The kernel is parallelised over rows of A and blocked
+// over panels of B: for each panel of blockPanel rows of B, every row of the
+// chunk streams the panel with an ikj/axpy inner loop, so the panel is read
+// from cache (hi−lo) times instead of main memory. Per-element summation
+// order is unchanged from the unblocked kernel (p strictly ascending per
+// output row), so results are bitwise identical.
 func MatMul(c, a, b *Mat) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
@@ -19,39 +30,58 @@ func MatMul(c, a, b *Mat) {
 			for x := range ci {
 				ci[x] = 0
 			}
-			ai := a.Row(i)
-			for p := 0; p < k; p++ {
-				av := ai[p]
-				if av == 0 {
-					continue
+		}
+		for p0 := 0; p0 < k; p0 += blockPanel {
+			p1 := p0 + blockPanel
+			if p1 > k {
+				p1 = k
+			}
+			for i := lo; i < hi; i++ {
+				ai := a.Row(i)
+				ci := c.Row(i)
+				for p := p0; p < p1; p++ {
+					av := ai[p]
+					if av == 0 {
+						continue
+					}
+					axpy(av, b.Row(p), ci)
 				}
-				bp := b.Row(p)
-				axpy(av, bp, ci)
 			}
 		}
 	})
 }
 
 // MatMulT computes C = A·Bᵀ. C must be A.Rows×B.Rows. The innermost loop is a
-// dot product over contiguous rows of both A and B, which is the
-// cache-friendly orientation for attention scores Q·Kᵀ.
+// dot product over contiguous rows of both A and B — the cache-friendly
+// orientation for attention scores Q·Kᵀ — and the j loop is blocked into
+// panels of B rows reused across the chunk's A rows.
 func MatMulT(c, a, b *Mat) {
 	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulT shapes %dx%d · (%dx%d)ᵀ -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
 	}
+	m := b.Rows
 	ParallelFor(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Row(i)
-			ci := c.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				ci[j] = Dot(ai, b.Row(j))
+		for j0 := 0; j0 < m; j0 += blockPanel {
+			j1 := j0 + blockPanel
+			if j1 > m {
+				j1 = m
+			}
+			for i := lo; i < hi; i++ {
+				ai := a.Row(i)
+				ci := c.Row(i)
+				for j := j0; j < j1; j++ {
+					ci[j] = Dot(ai, b.Row(j))
+				}
 			}
 		}
 	})
 }
 
 // TMatMul computes C = Aᵀ·B. C must be A.Cols×B.Cols. Used for weight
-// gradients dW = Xᵀ·dY. Parallelised over columns of A (rows of C).
+// gradients dW = Xᵀ·dY. Parallelised over columns of A (rows of C) and
+// blocked over panels of A/B rows so both operand panels stay cache-resident
+// across the chunk. Summation order per output element is unchanged
+// (p strictly ascending), keeping results bitwise identical.
 func TMatMul(c, a, b *Mat) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: TMatMul shapes (%dx%d)ᵀ · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
@@ -62,12 +92,21 @@ func TMatMul(c, a, b *Mat) {
 			for x := range ci {
 				ci[x] = 0
 			}
-			for p := 0; p < a.Rows; p++ {
-				av := a.Data[p*a.Cols+i]
-				if av == 0 {
-					continue
+		}
+		for p0 := 0; p0 < a.Rows; p0 += blockPanel {
+			p1 := p0 + blockPanel
+			if p1 > a.Rows {
+				p1 = a.Rows
+			}
+			for i := lo; i < hi; i++ {
+				ci := c.Row(i)
+				for p := p0; p < p1; p++ {
+					av := a.Data[p*a.Cols+i]
+					if av == 0 {
+						continue
+					}
+					axpy(av, b.Row(p), ci)
 				}
-				axpy(av, b.Row(p), ci)
 			}
 		}
 	})

@@ -34,15 +34,14 @@ func Workers() int {
 
 // ParallelFor splits [0, n) into contiguous chunks and runs body(lo, hi) on
 // each chunk concurrently. body must not panic. It is the single scheduling
-// primitive used by all kernels, mirroring a CUDA grid launch.
+// primitive used by all kernels, mirroring a CUDA grid launch. (Implemented
+// directly rather than via ParallelForWorker so the single-worker fast path
+// allocates nothing — no wrapper closure escapes.)
 func ParallelFor(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	w := Workers()
-	if w > n {
-		w = n
-	}
+	w := WorkerCount(n)
 	if w <= 1 {
 		body(0, n)
 		return
@@ -59,6 +58,50 @@ func ParallelFor(n int, body func(lo, hi int)) {
 			defer wg.Done()
 			body(lo, hi)
 		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// WorkerCount reports how many chunks ParallelFor/ParallelForWorker will use
+// for an n-sized loop, letting callers pre-provision per-worker scratch.
+func WorkerCount(n int) int {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ParallelForWorker is ParallelFor with the chunk's worker slot exposed:
+// body(worker, lo, hi) receives a dense id in [0, WorkerCount(n)), so kernels
+// can index pre-allocated per-worker scratch (e.g. workspace-pooled tiles)
+// instead of allocating inside the loop body.
+func ParallelForWorker(n int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := WorkerCount(n)
+	if w <= 1 {
+		body(0, 0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	worker := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			body(worker, lo, hi)
+		}(worker, lo, hi)
+		worker++
 	}
 	wg.Wait()
 }

@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWorkspaceGetShapesAndZeroing(t *testing.T) {
+	ws := NewWorkspace()
+	m := ws.Get(3, 5)
+	if m.Rows != 3 || m.Cols != 5 || len(m.Data) != 15 {
+		t.Fatalf("bad shape %v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Get must zero the buffer")
+		}
+	}
+	m.Fill(7)
+	ws.Reset()
+	// same bucket → same backing slab, and it must be re-zeroed
+	m2 := ws.Get(3, 5)
+	for _, v := range m2.Data {
+		if v != 0 {
+			t.Fatal("recycled buffer must be re-zeroed")
+		}
+	}
+}
+
+func TestWorkspaceReusesAfterReset(t *testing.T) {
+	ws := NewWorkspace()
+	// park a deterministic buffer in the pool, then measure reuse
+	ws.Get(64, 64)
+	ws.Reset()
+	for i := 0; i < 8; i++ {
+		ws.Get(64, 64)
+		ws.Reset()
+	}
+	st := ws.Stats()
+	if st.Gets != 9 {
+		t.Fatalf("gets=%d", st.Gets)
+	}
+	// most gets after the first are pool hits (the exact count varies: the
+	// race detector deliberately drops a fraction of sync.Pool puts)
+	if st.PoolHits < 3 {
+		t.Fatalf("expected ≥3 pool hits, got %d", st.PoolHits)
+	}
+	if st.InUse != 0 {
+		t.Fatalf("in-use after reset: %d", st.InUse)
+	}
+}
+
+func TestWorkspacePutReturnsEarly(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Get(8, 8)
+	b := ws.Get(4, 4)
+	ws.Put(a)
+	st := ws.Stats()
+	if st.InUse != 1 {
+		t.Fatalf("in-use=%d after Put", st.InUse)
+	}
+	// putting a foreign matrix is a no-op
+	ws.Put(New(2, 2))
+	if ws.Stats().InUse != 1 {
+		t.Fatal("foreign Put must not change held set")
+	}
+	ws.Put(b)
+	if ws.Stats().InUse != 0 {
+		t.Fatal("held set must drain")
+	}
+}
+
+func TestNilWorkspaceFallsBack(t *testing.T) {
+	var ws *Workspace
+	m := ws.Get(2, 3)
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatal("nil workspace must heap-allocate")
+	}
+	v := ws.GetVec(4)
+	if len(v) != 4 {
+		t.Fatal("nil GetVec must heap-allocate")
+	}
+	ws.Put(m)  // no-op
+	ws.Reset() // no-op
+	if ws.Stats() != (WorkspaceStats{}) {
+		t.Fatal("nil stats must be zero")
+	}
+}
+
+func TestWorkspaceConcurrentGet(t *testing.T) {
+	ws := NewWorkspace()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m := ws.Get(16, 16)
+				m.Fill(float32(g))
+				v := ws.GetVec(33)
+				v[0] = float32(g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := ws.Stats().InUse; got != 8*50*2 {
+		t.Fatalf("in-use=%d", got)
+	}
+	ws.Reset()
+}
+
+func TestBucketFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := bucketFor(n); got != want {
+			t.Fatalf("bucketFor(%d)=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestParallelForWorkerCoversRange(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	seen := make([]int32, 100)
+	var mu sync.Mutex
+	maxWorker := 0
+	ParallelForWorker(100, func(worker, lo, hi int) {
+		mu.Lock()
+		if worker > maxWorker {
+			maxWorker = worker
+		}
+		mu.Unlock()
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+	if maxWorker >= WorkerCount(100) {
+		t.Fatalf("worker id %d out of range %d", maxWorker, WorkerCount(100))
+	}
+}

@@ -25,6 +25,8 @@ type GraphConfig struct {
 	// bias, exactly like GP-Flash must.
 	DenseBiasMaxN int
 	Seed          int64
+	// Exec overrides the model's execution engine; nil keeps the default.
+	Exec *model.ExecOptions
 }
 
 func (c GraphConfig) withDefaults() GraphConfig {
@@ -100,6 +102,9 @@ func NewGraphTrainer(cfg GraphConfig, modelCfg model.Config, ds *graph.GraphData
 	}
 	tr.preprocess = time.Since(t0)
 	tr.Model = model.NewGraphTransformer(modelCfg)
+	if cfg.Exec != nil {
+		tr.Model.SetRuntime(model.NewRuntime(*cfg.Exec))
+	}
 	return tr
 }
 
@@ -161,6 +166,7 @@ func (tr *GraphTrainer) Run() *Result {
 			count++
 			if (bi+1)%tr.Cfg.BatchSize == 0 || bi == len(order)-1 {
 				opt.Step(params)
+				tr.Model.Runtime().StepReset()
 				step++
 			}
 		}

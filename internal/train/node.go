@@ -66,6 +66,9 @@ type NodeConfig struct {
 	// run when > 0 (warmup epochs); 0 keeps a constant LR.
 	Warmup int
 	Seed   int64
+	// Exec overrides the model's execution engine (head-parallel workers +
+	// workspace pooling); nil keeps the pooled default.
+	Exec *model.ExecOptions
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -138,6 +141,9 @@ func NewNodeTrainer(cfg NodeConfig, modelCfg model.Config, ds *graph.NodeDataset
 	tr.preprocess = time.Since(t0)
 
 	tr.Model = model.NewGraphTransformer(modelCfg)
+	if cfg.Exec != nil {
+		tr.Model.SetRuntime(model.NewRuntime(*cfg.Exec))
+	}
 	degIn, degOut := encoding.DegreeBuckets(tr.DS.G, 63)
 	tr.inputs = &model.Inputs{X: tr.DS.X, DegInIdx: degIn, DegOutIdx: degOut}
 	if modelCfg.UseLapPE {
@@ -221,6 +227,8 @@ func (tr *NodeTrainer) Run() *Result {
 		tr.Model.Backward(dl)
 		pairs := tr.Model.Pairs()
 		nn.StepWith(opt, sched, ep, params)
+		// step boundary: every gradient is consumed, recycle the workspaces
+		tr.Model.Runtime().StepReset()
 		dt := time.Since(t0)
 
 		testAcc := nn.Accuracy(logits, tr.DS.Y, tr.DS.TestMask)

@@ -20,6 +20,8 @@ type SeqConfig struct {
 	LR     float64
 	SeqLen int
 	Seed   int64
+	// Exec overrides the model's execution engine; nil keeps the default.
+	Exec *model.ExecOptions
 }
 
 // SeqTrainer samples node subsets per step and trains on their induced
@@ -38,7 +40,11 @@ func NewSeqTrainer(cfg SeqConfig, modelCfg model.Config, ds *graph.NodeDataset) 
 	if cfg.SeqLen <= 0 || cfg.SeqLen > ds.G.N {
 		cfg.SeqLen = ds.G.N
 	}
-	return &SeqTrainer{Cfg: cfg, Model: model.NewGraphTransformer(modelCfg), DS: ds}
+	tr := &SeqTrainer{Cfg: cfg, Model: model.NewGraphTransformer(modelCfg), DS: ds}
+	if cfg.Exec != nil {
+		tr.Model.SetRuntime(model.NewRuntime(*cfg.Exec))
+	}
+	return tr
 }
 
 // batch materialises a sampled node subset as model inputs.
@@ -101,6 +107,7 @@ func (tr *SeqTrainer) Run() *Result {
 			tr.Model.Backward(dl)
 			pairs += tr.Model.Pairs()
 			opt.Step(params)
+			tr.Model.Runtime().StepReset()
 			epLoss += l
 		}
 		dt := time.Since(t0)

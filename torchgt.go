@@ -48,13 +48,32 @@ type (
 
 // Training methods from the paper's evaluation.
 const (
-	MethodGPRaw      = train.GPRaw
-	MethodGPFlash    = train.GPFlash
-	MethodGPSparse   = train.GPSparse
-	MethodTorchGT    = train.TorchGT
+	MethodGPRaw       = train.GPRaw
+	MethodGPFlash     = train.GPFlash
+	MethodGPSparse    = train.GPSparse
+	MethodTorchGT     = train.TorchGT
+	MethodTorchGTBF16 = train.TorchGTBF16
+	MethodNodeFormer  = train.NodeFormerKernel
+
+	// MethodTorchGTBF6 is a misspelling kept for compatibility.
+	//
+	// Deprecated: use MethodTorchGTBF16.
 	MethodTorchGTBF6 = train.TorchGTBF16
-	MethodNodeFormer = train.NodeFormerKernel
 )
+
+// ExecOptions tunes the runtime execution engine: head-level parallelism
+// (Workers) and workspace pooling (PoolEnabled). The zero value means
+// "defaults" — full parallelism, pooling on.
+type ExecOptions = model.ExecOptions
+
+// Runtime is the execution engine behind a model's hot paths: per-worker
+// scratch workspaces plus the attention-head fan-out scheduler. Attach one
+// to a model with GraphTransformer.SetRuntime; reset it at step boundaries
+// in custom loops with StepReset.
+type Runtime = model.Runtime
+
+// NewRuntime builds an execution engine from opts.
+func NewRuntime(opts ExecOptions) *Runtime { return model.NewRuntime(opts) }
 
 // Hardware profiles of the paper's two testbeds.
 var (
@@ -110,6 +129,9 @@ type TrainOptions struct {
 	UseFixedBeta bool
 	BatchSize    int // graph-level batch
 	SeqLen       int // mini-batched node-level sequence length
+	// Exec overrides the execution engine (head-parallel workers, workspace
+	// pooling); nil keeps the pooled, fully-parallel default.
+	Exec *ExecOptions
 }
 
 func (o TrainOptions) epochs() int {
@@ -135,7 +157,7 @@ func TrainNode(method Method, cfg ModelConfig, ds *NodeDataset, opts TrainOption
 	tr := train.NewNodeTrainer(train.NodeConfig{
 		Method: method, Epochs: opts.epochs(), LR: opts.LR,
 		Interval: opts.Interval, ClusterK: opts.ClusterK, Db: opts.Db,
-		FixedBeta: opts.beta(), Seed: opts.Seed,
+		FixedBeta: opts.beta(), Seed: opts.Seed, Exec: opts.Exec,
 	}, cfg, ds)
 	return tr.Run(), nil
 }
@@ -150,6 +172,7 @@ func TrainGraphLevel(method Method, cfg ModelConfig, ds *GraphDataset, opts Trai
 	tr := train.NewGraphTrainer(train.GraphConfig{
 		Method: method, Epochs: opts.epochs(), LR: opts.LR,
 		BatchSize: opts.BatchSize, Interval: opts.Interval, Seed: opts.Seed,
+		Exec: opts.Exec,
 	}, cfg, ds)
 	res := tr.Run()
 	mae := 0.0
@@ -167,7 +190,7 @@ func TrainNodeSeq(method Method, cfg ModelConfig, ds *NodeDataset, opts TrainOpt
 	}
 	tr := train.NewSeqTrainer(train.SeqConfig{
 		Method: method, Epochs: opts.epochs(), LR: opts.LR,
-		SeqLen: opts.SeqLen, Seed: opts.Seed,
+		SeqLen: opts.SeqLen, Seed: opts.Seed, Exec: opts.Exec,
 	}, cfg, ds)
 	return tr.Run(), nil
 }
