@@ -1,0 +1,139 @@
+// benchcheck is the benchmark-regression gate: it parses `go test -bench
+// -benchmem` output from stdin, writes every result to a JSON report, and
+// fails when a benchmark's allocs/op exceeds its committed baseline ceiling.
+//
+// Usage (what CI runs):
+//
+//	go test -bench=. -benchmem -run='^$' ./internal/attention/... ./internal/serve/... |
+//	    go run ./cmd/benchcheck -baseline ci/bench-baseline.json -out BENCH_serve.json
+//
+// The baseline file maps benchmark names (without the -N GOMAXPROCS suffix)
+// to the maximum tolerated allocs/op. Allocation counts — unlike ns/op — are
+// essentially machine-independent, which is what makes them gateable in CI.
+// A baselined benchmark that disappears from the output also fails the gate,
+// so a rename cannot silently drop coverage.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches e.g.
+// BenchmarkServeBatch8-8   	     100	  117503 ns/op	  2048 B/op	  31 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// Result is one parsed benchmark measurement.
+type Result struct {
+	N        int64   `json:"n"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"b_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the committed regression contract.
+type Baseline struct {
+	// MaxAllocsPerOp maps benchmark name → tolerated allocs/op ceiling.
+	MaxAllocsPerOp map[string]float64 `json:"max_allocs_per_op"`
+}
+
+// Report is what gets written to -out (and archived by CI).
+type Report struct {
+	Results    map[string]Result `json:"results"`
+	Violations []string          `json:"violations"`
+	Missing    []string          `json:"missing"`
+	Pass       bool              `json:"pass"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "ci/bench-baseline.json", "committed baseline JSON")
+	outPath := flag.String("out", "BENCH_serve.json", "report output path")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: bad baseline:", err)
+		os.Exit(2)
+	}
+
+	results := map[string]Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw stream through for the CI log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{}
+		r.N, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			r.AllocsOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		results[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	report := Report{Results: results, Pass: true}
+	names := make([]string, 0, len(base.MaxAllocsPerOp))
+	for name := range base.MaxAllocsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ceil := base.MaxAllocsPerOp[name]
+		r, ok := results[name]
+		if !ok {
+			report.Missing = append(report.Missing, name)
+			report.Pass = false
+			continue
+		}
+		if r.AllocsOp > ceil {
+			report.Violations = append(report.Violations,
+				fmt.Sprintf("%s: %.1f allocs/op exceeds baseline %.1f", name, r.AllocsOp, ceil))
+			report.Pass = false
+		}
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	if err := os.WriteFile(*outPath, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("\nbenchcheck: %d benchmarks parsed, %d baselined, report %s\n",
+		len(results), len(names), *outPath)
+	for _, v := range report.Violations {
+		fmt.Fprintln(os.Stderr, "benchcheck: REGRESSION:", v)
+	}
+	for _, m := range report.Missing {
+		fmt.Fprintln(os.Stderr, "benchcheck: MISSING baselined benchmark:", m)
+	}
+	if !report.Pass {
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all pooled allocation baselines hold")
+}

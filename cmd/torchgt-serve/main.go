@@ -1,0 +1,144 @@
+// torchgt-serve runs the batched inference engine: it obtains a trained
+// model (training one quickly, or loading a frozen snapshot), starts the
+// dynamic micro-batching server, and either serves HTTP or sweeps a set of
+// offered loads and prints a latency/throughput report.
+//
+// Usage:
+//
+//	torchgt-serve -dataset arxiv-sim -nodes 2048 -epochs 10            # load sweep
+//	torchgt-serve -snapshot model.snap -http :8080                    # HTTP serving
+//	torchgt-serve -epochs 10 -save-snapshot model.snap -loads 200,800 # train, save, sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"torchgt"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "torchgt-serve:", err)
+	os.Exit(1)
+}
+
+func main() {
+	dataset := flag.String("dataset", "arxiv-sim", "node-level dataset name")
+	nodes := flag.Int("nodes", 2048, "node count (0 = preset size)")
+	seed := flag.Int64("seed", 1, "random seed")
+	method := flag.String("method", "torchgt", "training method for the quick train")
+	epochs := flag.Int("epochs", 10, "training epochs before serving")
+	snapshotPath := flag.String("snapshot", "", "load a frozen snapshot instead of training")
+	saveSnapshot := flag.String("save-snapshot", "", "write the frozen snapshot to this path")
+
+	workers := flag.Int("workers", 0, "replica workers (0 = default)")
+	batch := flag.Int("batch", 16, "max batch size (flush-on-size trigger)")
+	deadline := flag.Duration("deadline", 2*time.Millisecond, "max batching delay (flush-on-deadline trigger)")
+	mode := flag.String("mode", "sparse", "attention kernel: sparse | dense | flash | flash-bf16 | cluster-sparse | kernelized")
+	hops := flag.Int("hops", 2, "ego-context BFS radius per request")
+	ctx := flag.Int("ctx", 32, "max ego-context size per request")
+
+	httpAddr := flag.String("http", "", "serve HTTP on this address instead of running the load sweep")
+	loads := flag.String("loads", "200,1000,4000", "comma-separated offered loads (requests/second)")
+	dur := flag.Duration("duration", 2*time.Second, "duration per offered load")
+	flag.Parse()
+
+	m, err := torchgt.ParseServeMode(*mode)
+	if err != nil {
+		fail(err)
+	}
+	ds, err := torchgt.LoadNodeDataset(*dataset, *nodes, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	var snap *torchgt.Snapshot
+	if *snapshotPath != "" {
+		if snap, err = torchgt.LoadSnapshot(*snapshotPath); err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded snapshot %s (%s, %d params)\n", *snapshotPath, snap.Config().Name, snap.NumParams())
+	} else {
+		tm, err := torchgt.ParseMethod(*method)
+		if err != nil {
+			fail(err)
+		}
+		cfg := torchgt.GraphormerSlim(ds.X.Cols, ds.NumClasses, *seed)
+		fmt.Printf("training %s on %s (%d nodes) for %d epochs...\n", cfg.Name, *dataset, ds.G.N, *epochs)
+		var res *torchgt.Result
+		res, snap, err = torchgt.TrainNodeSnapshot(tm, cfg, ds, torchgt.TrainOptions{
+			Epochs: *epochs, LR: 2e-3, Seed: *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trained: final test accuracy %.2f%%\n", res.FinalTestAcc*100)
+	}
+	if *saveSnapshot != "" {
+		if err := torchgt.SaveSnapshot(*saveSnapshot, snap); err != nil {
+			fail(err)
+		}
+		fmt.Printf("snapshot written to %s\n", *saveSnapshot)
+	}
+
+	srv, err := torchgt.NewServer(snap, ds, torchgt.ServeOptions{
+		Workers: *workers, MaxBatch: *batch, MaxDelay: *deadline,
+		Mode: m, CtxHops: *hops, CtxSize: *ctx,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+	o := srv.Options()
+	fmt.Printf("server: %d workers, batch≤%d, deadline %s, %s kernel, ctx %d nodes\n",
+		o.Workers, o.MaxBatch, o.MaxDelay, o.Mode, o.CtxSize)
+
+	if *httpAddr != "" {
+		fmt.Printf("listening on %s (GET /predict?node=N, /stats, /healthz)\n", *httpAddr)
+		fail(http.ListenAndServe(*httpAddr, srv.Handler()))
+	}
+
+	rates, err := parseLoads(*loads)
+	if err != nil {
+		fail(err)
+	}
+	targets := make([]int32, 256)
+	for i := range targets {
+		targets[i] = int32((i * 31) % ds.G.N)
+	}
+	warm := min(o.MaxBatch, len(targets))
+	srv.PredictBatch(targets[:warm]) // warm up pools before measuring
+
+	fmt.Printf("\n%-12s  %-12s  %-10s  %-10s  %-9s  %s\n",
+		"offered r/s", "achieved r/s", "p50 ms", "p99 ms", "avg batch", "errors")
+	for _, r := range rates {
+		lp := torchgt.RunServeLoad(srv, targets, r, *dur)
+		fmt.Printf("%-12.0f  %-12.1f  %-10.3f  %-10.3f  %-9.1f  %d\n",
+			lp.OfferedRPS, lp.AchievedRPS,
+			float64(lp.P50.Microseconds())/1000, float64(lp.P99.Microseconds())/1000,
+			lp.AvgBatch, lp.Errors)
+	}
+	st := srv.Stats()
+	fmt.Printf("\ntotals: %d requests, %d batches (%.1f avg), %d full / %d deadline flushes\n",
+		st.Requests, st.Batches, st.AvgBatchSize, st.FlushFull, st.FlushDeadline)
+}
+
+func parseLoads(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad load %q (want positive req/s)", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no loads given")
+	}
+	return out, nil
+}

@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table5", "table6", "table7", "table8",
 		"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b",
-		"fig10", "fig11", "fig12", "preproc", "dist", "workspace",
+		"fig10", "fig11", "fig12", "preproc", "dist", "workspace", "serve",
 		"ablation-interleave", "ablation-reorder", "ablation-db", "ablation-sampling", "ablation-bigbird",
 	}
 	for _, id := range want {
@@ -86,16 +86,43 @@ func TestSmokeDist(t *testing.T) {
 	}
 }
 
-func TestSmokePreproc(t *testing.T) { smokeRun(t, "preproc") }
+func TestSmokePreproc(t *testing.T) {
+	skipIfShort(t)
+	smokeRun(t, "preproc")
+}
 
 func TestSmokeWorkspace(t *testing.T) {
+	skipIfShort(t)
 	out := smokeRun(t, "workspace")
 	if !strings.Contains(out, "alloc reduction") || !strings.Contains(out, "head-parallel, pooled") {
 		t.Fatal("workspace output incomplete")
 	}
 }
 
-func TestSmokeTable8(t *testing.T) { smokeRun(t, "table8") }
+func TestSmokeTable8(t *testing.T) {
+	skipIfShort(t)
+	smokeRun(t, "table8")
+}
+
+// TestSmokeServe pins the serving experiment's contract: a report covering
+// at least three offered loads with latency percentiles and throughput.
+func TestSmokeServe(t *testing.T) {
+	out := smokeRun(t, "serve")
+	for _, want := range []string{"0.25x", "1.00x", "2.00x", "p50 ms", "p99 ms", "saturation throughput"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serve report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// skipIfShort gates slow convergence/end-to-end experiments out of the
+// default CI test lane; the full (non-blocking) lane runs them.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("slow end-to-end experiment skipped with -short")
+	}
+}
 
 func TestSmokeTable6(t *testing.T) { smokeRun(t, "table6") }
 

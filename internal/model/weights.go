@@ -1,0 +1,31 @@
+package model
+
+import "fmt"
+
+// CopyWeightsFrom copies every parameter value of src into g. Both models
+// must be built from the same configuration (parameters are matched
+// positionally, with name and shape verified defensively, mirroring the
+// checkpoint contract in internal/nn). Gradients are untouched.
+//
+// This is the replication primitive of the serving engine: one frozen master
+// model fans out into per-worker replicas that share nothing but their
+// numbers, so concurrent grad-free forwards need no locking.
+func (g *GraphTransformer) CopyWeightsFrom(src *GraphTransformer) error {
+	dst := g.Params()
+	from := src.Params()
+	if len(dst) != len(from) {
+		return fmt.Errorf("model: parameter count mismatch: %d vs %d", len(dst), len(from))
+	}
+	for i, p := range dst {
+		q := from[i]
+		if p.Name != q.Name {
+			return fmt.Errorf("model: param %d name mismatch: %q vs %q", i, p.Name, q.Name)
+		}
+		if !p.W.SameShape(q.W) {
+			return fmt.Errorf("model: param %q shape mismatch: %dx%d vs %dx%d",
+				p.Name, p.W.Rows, p.W.Cols, q.W.Rows, q.W.Cols)
+		}
+		copy(p.W.Data, q.W.Data)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package model
+
+import "testing"
+
+func TestCopyWeightsFrom(t *testing.T) {
+	cfg := GraphormerSlim(6, 3, 7)
+	cfg.Layers = 1
+	src := NewGraphTransformer(cfg)
+	dst := NewGraphTransformer(cfg)
+	for _, p := range dst.Params() {
+		p.W.Fill(0)
+	}
+	if err := dst.CopyWeightsFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		if !sp[i].W.Equal(dp[i].W, 0) {
+			t.Fatalf("param %s not copied", sp[i].Name)
+		}
+	}
+	// copies are independent: mutating the source must not leak through
+	sp[0].W.Fill(42)
+	if dp[0].W.Equal(sp[0].W, 0) {
+		t.Fatal("copy aliases the source storage")
+	}
+
+	other := cfg
+	other.Hidden = 32
+	if err := dst.CopyWeightsFrom(NewGraphTransformer(other)); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+	other = cfg
+	other.Name = "renamed"
+	if err := dst.CopyWeightsFrom(NewGraphTransformer(other)); err == nil {
+		t.Fatal("name mismatch must error")
+	}
+	other = cfg
+	other.UseDegreeEnc = false
+	if err := dst.CopyWeightsFrom(NewGraphTransformer(other)); err == nil {
+		t.Fatal("parameter-count mismatch must error")
+	}
+}

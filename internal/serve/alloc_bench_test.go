@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"testing"
+
+	"torchgt/internal/model"
+	"torchgt/internal/tensor"
+)
+
+// Serving-path benchmarks for the CI benchmark-regression gate: allocs/op of
+// a warm PredictBatch measures how much per-request garbage the batch
+// builder + pooled forward pass generate. tensor workers are pinned to 1 so
+// the numbers count buffers, not goroutine launches (same convention as the
+// attention alloc benchmarks).
+
+func benchServer(b *testing.B, batch int) (*Server, []int32) {
+	b.Helper()
+	ds := testDataset(256, 41)
+	snap := testSnapshot(b, ds, 42)
+	s, err := NewServer(snap, ds, Options{
+		Workers: 1, MaxBatch: batch,
+		Exec: &model.ExecOptions{Workers: 1, PoolEnabled: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	nodes := make([]int32, batch)
+	for i := range nodes {
+		nodes[i] = int32((i * 37) % ds.G.N)
+	}
+	s.PredictBatch(nodes) // warm up the workspace pools
+	return s, nodes
+}
+
+func benchPredictBatch(b *testing.B, batch int) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+	s, nodes := benchServer(b, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs := s.PredictBatch(nodes)
+		if rs[0].Err != nil {
+			b.Fatal(rs[0].Err)
+		}
+	}
+}
+
+func BenchmarkServeBatch1(b *testing.B)  { benchPredictBatch(b, 1) }
+func BenchmarkServeBatch8(b *testing.B)  { benchPredictBatch(b, 8) }
+func BenchmarkServeBatch32(b *testing.B) { benchPredictBatch(b, 32) }

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"torchgt/internal/graph"
+	"torchgt/internal/model"
+	"torchgt/internal/sparse"
+	"torchgt/internal/tensor"
+)
+
+// Batch assembly: a flushed batch of node requests becomes ONE model forward.
+// Every request contributes a deterministic ego-graph segment (truncated BFS
+// in CSR order — no sampling, so the same node always yields the same
+// context), and the segments are concatenated into a single sequence.
+// Segments are pure functions of (graph, node, options), so the server
+// memoises them: steady-state traffic pays only for concatenation and the
+// forward pass.
+//
+// Structural encodings follow the TRAINING convention of train.NodeTrainer —
+// degree buckets are computed once over the full served graph and indexed by
+// node id — so the centrality encoding a hub node was embedded with during
+// training is the one it serves with (computing them on the capped ego
+// subgraph would systematically understate hub degrees). Laplacian-PE models
+// are rejected at NewServer: their training-time PE depends on the trainer
+// seed and reordering, which a snapshot cannot reconstruct.
+//
+// Under the default sparse kernel the attention pattern is the block-diagonal
+// union of the per-segment topology patterns: requests attend only within
+// their own context, so a request's logits are bitwise independent of what it
+// happens to be batched with. Batching is purely a throughput mechanism, not
+// a semantic one — the property the determinism tests pin down. The dense /
+// flash / kernelized modes instead attend across the whole concatenated
+// sequence (cheaper bookkeeping, cross-request leakage); cluster-sparse
+// treats each segment as one cluster and reforms dense sub-blocks where a
+// segment is locally dense, exercising the paper's elastic kernel at serve
+// time.
+
+// egoNodes returns the deterministic BFS neighbourhood of target: up to hops
+// levels, capped at maxCtx nodes, neighbours visited in CSR order. Target is
+// always position 0.
+func egoNodes(g *graph.Graph, target int32, hops, maxCtx int) []int32 {
+	seen := map[int32]bool{target: true}
+	nodes := []int32{target}
+	frontier := []int32{target}
+	for hop := 0; hop < hops && len(nodes) < maxCtx; hop++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(int(u)) {
+				if seen[v] || len(nodes) >= maxCtx {
+					continue
+				}
+				seen[v] = true
+				nodes = append(nodes, v)
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return nodes
+}
+
+// segment is the memoised per-node context: ego nodes plus the local
+// (self-loop-augmented) topology pairs of their induced subgraph.
+type segment struct {
+	nodes []int32
+	pairs []graph.Edge
+}
+
+// segmentFor returns the (cached) context segment of one node. Segments are
+// immutable once built, so the lazy sync.Map cache is race-free; LoadOrStore
+// keeps concurrent first-builders consistent.
+func (s *Server) segmentFor(node int32) *segment {
+	if v, ok := s.segCache.Load(node); ok {
+		return v.(*segment)
+	}
+	nodes := egoNodes(s.ds.G, node, s.opts.CtxHops, s.opts.CtxSize)
+	sp := sparse.FromGraph(s.ds.G.InducedSubgraph(nodes)) // self-loops added
+	var pairs []graph.Edge
+	for r := 0; r < sp.S; r++ {
+		for _, c := range sp.Row(r) {
+			pairs = append(pairs, graph.Edge{U: int32(r), V: c})
+		}
+	}
+	seg := &segment{nodes: nodes, pairs: pairs}
+	actual, _ := s.segCache.LoadOrStore(node, seg)
+	return actual.(*segment)
+}
+
+// builtBatch is one ready-to-execute forward pass.
+type builtBatch struct {
+	in      *model.Inputs
+	spec    *model.AttentionSpec
+	targets []int // sequence row of each request's target node
+}
+
+// buildBatch materialises the concatenated sequence for one batch of target
+// nodes. It is a pure function of (dataset, options, nodes) — all the
+// determinism guarantees rest on that; the segment cache only memoises it.
+func (s *Server) buildBatch(nodes []int32) (*builtBatch, error) {
+	ds, cfg := s.ds, s.snap.Config()
+	segs := make([]*segment, len(nodes))
+	total := 0
+	for i, n := range nodes {
+		if n < 0 || int(n) >= ds.G.N {
+			return nil, fmt.Errorf("serve: node %d out of range [0, %d)", n, ds.G.N)
+		}
+		segs[i] = s.segmentFor(n)
+		total += len(segs[i].nodes)
+	}
+
+	x := tensor.New(total, ds.X.Cols)
+	degIn := make([]int32, total)
+	degOut := make([]int32, total)
+	targets := make([]int, len(nodes))
+	var pairs []graph.Edge
+	bounds := make([]int32, 0, len(nodes)+1)
+	bounds = append(bounds, 0)
+
+	base := 0
+	for i, seg := range segs {
+		targets[i] = base
+		for p, v := range seg.nodes {
+			copy(x.Row(base+p), ds.X.Row(int(v)))
+			// full-graph structural encodings, indexed by node id — the
+			// training-side convention of train.NodeTrainer
+			degIn[base+p] = s.degIn[v]
+			degOut[base+p] = s.degOut[v]
+		}
+		for _, e := range seg.pairs {
+			pairs = append(pairs, graph.Edge{U: int32(base) + e.U, V: int32(base) + e.V})
+		}
+		base += len(seg.nodes)
+		bounds = append(bounds, int32(base))
+	}
+
+	in := &model.Inputs{X: x}
+	if cfg.UseDegreeEnc {
+		in.DegInIdx, in.DegOutIdx = degIn, degOut
+	}
+	spec, err := specFor(s.opts, total, pairs, bounds)
+	if err != nil {
+		return nil, err
+	}
+	return &builtBatch{in: in, spec: spec, targets: targets}, nil
+}
+
+// Mode selects the attention kernel of the serving forward pass. It is a
+// serve-local enum (rather than model.AttnMode) so that the zero value can
+// mean "the safe default": block-diagonal sparse attention.
+type Mode int
+
+const (
+	// ModeSparse (the default) is block-diagonal topology-induced sparse
+	// attention: each request attends only within its own ego context, so
+	// outputs are independent of batch composition.
+	ModeSparse Mode = iota
+	// ModeDense materialises scores over the whole concatenated sequence.
+	ModeDense
+	// ModeFlash is tiled streaming attention over the whole sequence.
+	ModeFlash
+	// ModeFlashBF16 is ModeFlash with BF16 storage emulation.
+	ModeFlashBF16
+	// ModeClusterSparse treats each request segment as one cluster and
+	// reforms locally dense regions into db×db sub-blocks (the paper's
+	// elastic kernel, applied at serve time).
+	ModeClusterSparse
+	// ModeKernelized is linear attention over the whole sequence.
+	ModeKernelized
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSparse:
+		return "sparse"
+	case ModeDense:
+		return "dense"
+	case ModeFlash:
+		return "flash"
+	case ModeFlashBF16:
+		return "flash-bf16"
+	case ModeClusterSparse:
+		return "cluster-sparse"
+	case ModeKernelized:
+		return "kernelized"
+	}
+	return "unknown"
+}
+
+// ParseMode converts a CLI name into a Mode.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{ModeSparse, ModeDense, ModeFlash, ModeFlashBF16, ModeClusterSparse, ModeKernelized} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown attention mode %q", s)
+}
+
+// specFor builds the attention spec of a batch for the configured kernel.
+func specFor(opts Options, total int, pairs []graph.Edge, bounds []int32) (*model.AttentionSpec, error) {
+	switch opts.Mode {
+	case ModeSparse:
+		p := sparse.FromPairs(total, pairs)
+		return &model.AttentionSpec{
+			Mode: model.ModeSparse, Pattern: p,
+			EdgeBuckets: p.LocalEdgeBuckets(false, 0), BF16: opts.BF16,
+		}, nil
+	case ModeClusterSparse:
+		p := sparse.FromPairs(total, pairs)
+		cl, err := sparse.NewClusterLayout(p, bounds)
+		if err != nil {
+			return nil, err
+		}
+		r := sparse.Reform(cl, opts.Db, opts.Beta)
+		return &model.AttentionSpec{
+			Mode: model.ModeClusterSparse, Reformed: r,
+			KeepBuckets: r.Keep.LocalEdgeBuckets(false, 0), BF16: opts.BF16,
+		}, nil
+	case ModeDense:
+		return &model.AttentionSpec{Mode: model.ModeDense, BF16: opts.BF16}, nil
+	case ModeFlash:
+		if opts.BF16 {
+			return &model.AttentionSpec{Mode: model.ModeFlashBF16}, nil
+		}
+		return &model.AttentionSpec{Mode: model.ModeFlash}, nil
+	case ModeFlashBF16:
+		return &model.AttentionSpec{Mode: model.ModeFlashBF16}, nil
+	case ModeKernelized:
+		return &model.AttentionSpec{Mode: model.ModeKernelized, BF16: opts.BF16}, nil
+	}
+	return nil, fmt.Errorf("serve: unsupported attention mode %v", int(opts.Mode))
+}
+
+// softmax converts one logits row into a probability vector (numerically
+// stable, freshly allocated — the result outlives the workspace step).
+func softmax(row []float32) []float32 {
+	out := make([]float32, len(row))
+	maxv := row[0]
+	for _, v := range row[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range row {
+		e := math.Exp(float64(v - maxv))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// argmax returns the index of the largest element (first on ties).
+func argmax(row []float32) int32 {
+	best := 0
+	for i := 1; i < len(row); i++ {
+		if row[i] > row[best] {
+			best = i
+		}
+	}
+	return int32(best)
+}

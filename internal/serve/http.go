@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// Handler exposes the server over HTTP (stdlib only):
+//
+//	GET /predict?node=N → {"node":N,"class":C,"probs":[...],"batch_size":B,"queued_us":...,"infer_us":...}
+//	GET /stats          → engine counters
+//	GET /healthz        → 200 ok
+//
+// Every in-flight HTTP request is one queued prediction, so concurrent HTTP
+// traffic batches exactly like programmatic traffic.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		raw := r.URL.Query().Get("node")
+		node, err := strconv.ParseInt(raw, 10, 32)
+		if err != nil {
+			http.Error(w, "serve: bad node id "+strconv.Quote(raw), http.StatusBadRequest)
+			return
+		}
+		resp := s.Predict(int32(node))
+		if resp.Err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(resp.Err, ErrClosed) {
+				code = http.StatusServiceUnavailable
+			}
+			http.Error(w, resp.Err.Error(), code)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"node":       resp.Node,
+			"class":      resp.Class,
+			"probs":      resp.Probs,
+			"batch_size": resp.BatchSize,
+			"queued_us":  resp.Queued.Microseconds(),
+			"infer_us":   resp.Infer.Microseconds(),
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

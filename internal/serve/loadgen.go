@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadPoint summarises one open-loop load run against a server.
+type LoadPoint struct {
+	OfferedRPS  float64
+	AchievedRPS float64
+	P50, P99    time.Duration // end-to-end request latency
+	AvgBatch    float64       // average executed batch size during the run
+	Requests    int
+	Errors      int
+}
+
+// RunLoad drives the server with an open-loop arrival process at rps
+// requests/second for dur, cycling deterministically through nodes. Each
+// arrival is submitted asynchronously, so an overloaded server accumulates
+// queueing latency instead of throttling the generator — exactly the regime
+// where dynamic batching earns its keep. Latency is measured from intended
+// arrival to response.
+func RunLoad(s *Server, nodes []int32, rps float64, dur time.Duration) LoadPoint {
+	interval := time.Duration(float64(time.Second) / rps)
+	statsBefore := s.Stats()
+
+	var mu sync.Mutex
+	var lats []time.Duration
+	errs := 0
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	next := start
+	i := 0
+	for time.Since(start) < dur {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		arrival := next
+		next = next.Add(interval)
+		node := nodes[i%len(nodes)]
+		i++
+		wg.Add(1)
+		go func(node int32, arrival time.Time) {
+			defer wg.Done()
+			r := s.Predict(node)
+			lat := time.Since(arrival)
+			mu.Lock()
+			defer mu.Unlock()
+			if r.Err != nil {
+				errs++
+				return
+			}
+			lats = append(lats, lat)
+		}(node, arrival)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	statsAfter := s.Stats()
+
+	lp := LoadPoint{OfferedRPS: rps, Requests: i, Errors: errs}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		lp.P50 = lats[len(lats)/2]
+		lp.P99 = lats[min(len(lats)-1, len(lats)*99/100)]
+		lp.AchievedRPS = float64(len(lats)) / elapsed.Seconds()
+	}
+	if db := statsAfter.Batches - statsBefore.Batches; db > 0 {
+		reqs := statsAfter.Requests - statsBefore.Requests
+		lp.AvgBatch = float64(reqs) / float64(db)
+	}
+	return lp
+}

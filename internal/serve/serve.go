@@ -1,0 +1,437 @@
+// Package serve is the batched inference subsystem: it takes a frozen model
+// snapshot (extracted from a training run) and fronts grad-free forward
+// passes with a request queue and a dynamic micro-batching scheduler, backed
+// by a pool of replica workers that each own a model.Runtime with pooled
+// workspaces.
+//
+// The scheduler implements the classic elastic-batching contract: an arriving
+// request waits until either MaxBatch requests are pending (flush on size —
+// the throughput bound) or the oldest pending request has waited MaxDelay
+// (flush on deadline — the latency bound), whichever comes first. Under heavy
+// load batches fill instantly and the engine runs at kernel saturation; under
+// light load a request pays at most MaxDelay of batching latency.
+//
+// Determinism: per-request ego contexts are built by deterministic truncated
+// BFS, and the default block-diagonal sparse kernel confines attention to
+// each request's own segment, so responses are bitwise reproducible across
+// runs, worker counts and batch compositions. See batch.go.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"torchgt/internal/encoding"
+	"torchgt/internal/graph"
+	"torchgt/internal/model"
+)
+
+// ErrClosed is returned (wrapped in Response.Err) for requests submitted
+// after Close. HTTP maps it to 503 so clients retry elsewhere.
+var ErrClosed = errors.New("serve: server closed")
+
+// Options tunes the serving engine. The zero value picks the defaults noted
+// per field.
+type Options struct {
+	// Workers is the number of replica workers executing batches
+	// concurrently (default min(4, NumCPU)). Each worker owns an
+	// independent copy of the weights plus its own Runtime, so workers
+	// never contend on model state.
+	Workers int
+	// MaxBatch flushes the queue when this many requests are pending
+	// (default 16).
+	MaxBatch int
+	// MaxDelay flushes the queue when the oldest pending request has
+	// waited this long (default 2ms).
+	MaxDelay time.Duration
+	// QueueCap bounds the intake queue (default 4×MaxBatch). A full queue
+	// blocks Predict — backpressure instead of unbounded memory growth.
+	QueueCap int
+	// Mode selects the attention kernel for batch forwards. The zero value
+	// is ModeSparse: block-diagonal per-request attention, the only mode
+	// whose outputs are independent of batch composition.
+	Mode Mode
+	// BF16 wraps kernels in bfloat16 storage emulation.
+	BF16 bool
+	// CtxHops is the ego-context BFS radius per request (default 2).
+	CtxHops int
+	// CtxSize caps the context size per request, target included
+	// (default 32).
+	CtxSize int
+	// Db is the cluster-sparse sub-block size (default 8; ModeClusterSparse only).
+	Db int
+	// Beta is the cluster-sparse transfer threshold βthre (default 0.25;
+	// ModeClusterSparse only).
+	Beta float64
+	// Exec overrides each replica's execution engine (head-parallel
+	// workers, workspace pooling); nil keeps the pooled default.
+	Exec *model.ExecOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+		if o.Workers > 4 {
+			o.Workers = 4
+		}
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Millisecond
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 4 * o.MaxBatch
+	}
+	if o.CtxHops <= 0 {
+		o.CtxHops = 2
+	}
+	if o.CtxSize <= 0 {
+		o.CtxSize = 32
+	}
+	if o.Db <= 0 {
+		o.Db = 8
+	}
+	if o.Beta <= 0 {
+		o.Beta = 0.25
+	}
+	return o
+}
+
+// Response is the result of one classification request.
+type Response struct {
+	Node  int32
+	Class int32     // argmax prediction
+	Probs []float32 // softmax distribution over classes
+	// BatchSize is how many requests shared this forward pass.
+	BatchSize int
+	// Queued is the time spent waiting for the batch to flush; Infer is
+	// the batch build + forward time (shared by the whole batch).
+	Queued, Infer time.Duration
+	Err           error
+}
+
+type request struct {
+	node int32
+	resp chan Response
+	enq  time.Time
+}
+
+type job struct {
+	reqs []*request
+}
+
+// Stats snapshots engine counters.
+type Stats struct {
+	Requests      int64 // accepted requests
+	Batches       int64 // executed forward passes
+	FlushFull     int64 // batches flushed on MaxBatch
+	FlushDeadline int64 // batches flushed on MaxDelay
+	FlushShutdown int64 // partial batches drained at Close
+	AvgBatchSize  float64
+}
+
+// Server is the batched inference engine over one dataset's graph.
+type Server struct {
+	snap *Snapshot
+	ds   *graph.NodeDataset
+	opts Options
+
+	// Full-graph structural encodings (training convention) plus the
+	// per-node segment memo — all immutable after construction.
+	degIn, degOut []int32
+	segCache      sync.Map // int32 → *segment
+
+	mu     sync.RWMutex // guards closed and sends into reqCh/jobCh
+	closed bool
+
+	reqCh chan *request
+	jobCh chan *job
+
+	workersWG sync.WaitGroup
+
+	nRequests, nBatches int64
+	nFull, nDeadline    int64
+	nShutdown, sumBatch int64
+}
+
+// NewServer materialises opts.Workers replicas of the snapshot and starts
+// the scheduler. The dataset provides the served graph, features and
+// encodings; it must match the snapshot's input/output dimensions.
+func NewServer(snap *Snapshot, ds *graph.NodeDataset, opts Options) (*Server, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("serve: nil snapshot")
+	}
+	if ds == nil {
+		return nil, fmt.Errorf("serve: nil dataset")
+	}
+	opts = opts.withDefaults()
+	cfg := snap.Config()
+	if cfg.GlobalToken {
+		return nil, fmt.Errorf("serve: global-token (graph-level) models are not servable node-level")
+	}
+	if cfg.InDim != ds.X.Cols {
+		return nil, fmt.Errorf("serve: model expects %d input features, dataset has %d", cfg.InDim, ds.X.Cols)
+	}
+	if ds.NumClasses > 0 && cfg.OutDim != ds.NumClasses {
+		return nil, fmt.Errorf("serve: model emits %d classes, dataset has %d", cfg.OutDim, ds.NumClasses)
+	}
+	if cfg.UseLapPE {
+		// Training-time Laplacian PE depends on the trainer's seed and (for
+		// TorchGT methods) the cluster-reordered node order — neither is
+		// recoverable from a snapshot, so any re-derived PE would feed the
+		// weights inputs they were never trained on. Refuse loudly instead
+		// of degrading silently.
+		return nil, fmt.Errorf("serve: Laplacian-PE models are not servable: training-time PE (trainer seed + reordering) cannot be reconstructed from a snapshot")
+	}
+	if _, err := specFor(opts, 1, nil, []int32{0, 1}); err != nil {
+		return nil, err
+	}
+
+	exec := model.ExecOptions{PoolEnabled: true}
+	if opts.Exec != nil {
+		exec = *opts.Exec
+	}
+	// Replica 0 decodes the frozen blob; further replicas copy its weights
+	// directly (model.CopyWeightsFrom), skipping repeated checkpoint decode.
+	replicas := make([]*model.GraphTransformer, opts.Workers)
+	first, err := snap.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	replicas[0] = first
+	for i := 1; i < len(replicas); i++ {
+		m := model.NewGraphTransformer(first.Cfg)
+		if err := m.CopyWeightsFrom(first); err != nil {
+			return nil, fmt.Errorf("serve: replica %d: %w", i, err)
+		}
+		replicas[i] = m
+	}
+	for _, m := range replicas {
+		m.SetRuntime(model.NewRuntime(exec))
+	}
+
+	s := &Server{
+		snap:  snap,
+		ds:    ds,
+		opts:  opts,
+		reqCh: make(chan *request, opts.QueueCap),
+		jobCh: make(chan *job),
+	}
+	s.degIn, s.degOut = encoding.DegreeBuckets(ds.G, encoding.MaxDegreeBucket)
+	go s.batchLoop()
+	for _, m := range replicas {
+		s.workersWG.Add(1)
+		go s.worker(m)
+	}
+	return s, nil
+}
+
+// Options reports the resolved serving options.
+func (s *Server) Options() Options { return s.opts }
+
+// Predict classifies one node, blocking until its batch has executed.
+func (s *Server) Predict(node int32) Response {
+	return <-s.PredictAsync(node)
+}
+
+// PredictAsync enqueues one request and returns the channel its response
+// will arrive on. A full queue blocks (backpressure); invalid nodes and a
+// closed server fail immediately.
+func (s *Server) PredictAsync(node int32) <-chan Response {
+	resp := make(chan Response, 1)
+	if node < 0 || int(node) >= s.ds.G.N {
+		resp <- Response{Node: node, Err: fmt.Errorf("serve: node %d out of range [0, %d)", node, s.ds.G.N)}
+		return resp
+	}
+	r := &request{node: node, resp: resp, enq: time.Now()}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		resp <- Response{Node: node, Err: ErrClosed}
+		return resp
+	}
+	s.reqCh <- r
+	s.mu.RUnlock()
+	atomic.AddInt64(&s.nRequests, 1)
+	return resp
+}
+
+// PredictBatch runs the given nodes as ONE batch, bypassing the scheduler:
+// the batch composition is exactly the valid argument nodes, which makes
+// this the reference path for determinism tests, warm-up and offline (bulk)
+// scoring. Invalid nodes fail individually without poisoning the batch.
+// Responses are returned in argument order.
+func (s *Server) PredictBatch(nodes []int32) []Response {
+	out := make([]Response, len(nodes))
+	if len(nodes) == 0 {
+		return out
+	}
+	var reqs []*request
+	slot := make([]int, 0, len(nodes))
+	now := time.Now()
+	for i, n := range nodes {
+		if n < 0 || int(n) >= s.ds.G.N {
+			out[i] = Response{Node: n, Err: fmt.Errorf("serve: node %d out of range [0, %d)", n, s.ds.G.N)}
+			continue
+		}
+		reqs = append(reqs, &request{node: n, resp: make(chan Response, 1), enq: now})
+		slot = append(slot, i)
+	}
+	if len(reqs) == 0 {
+		return out
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		for _, i := range slot {
+			out[i] = Response{Node: nodes[i], Err: ErrClosed}
+		}
+		return out
+	}
+	s.jobCh <- &job{reqs: reqs}
+	s.mu.RUnlock()
+	atomic.AddInt64(&s.nRequests, int64(len(reqs)))
+	for k, r := range reqs {
+		out[slot[k]] = <-r.resp
+	}
+	return out
+}
+
+// Close drains the queue, waits for in-flight batches and stops the workers.
+// Requests submitted after Close fail fast; requests already queued are
+// answered. Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.reqCh)
+	s.mu.Unlock()
+	s.workersWG.Wait()
+}
+
+// Stats snapshots the engine counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:      atomic.LoadInt64(&s.nRequests),
+		Batches:       atomic.LoadInt64(&s.nBatches),
+		FlushFull:     atomic.LoadInt64(&s.nFull),
+		FlushDeadline: atomic.LoadInt64(&s.nDeadline),
+		FlushShutdown: atomic.LoadInt64(&s.nShutdown),
+	}
+	if st.Batches > 0 {
+		st.AvgBatchSize = float64(atomic.LoadInt64(&s.sumBatch)) / float64(st.Batches)
+	}
+	return st
+}
+
+// batchLoop is the dynamic micro-batching scheduler: one goroutine that
+// groups the intake stream into jobs. It is the only sender on jobCh from
+// the queued path and the one that closes it on shutdown.
+func (s *Server) batchLoop() {
+	defer close(s.jobCh)
+	for {
+		first, ok := <-s.reqCh
+		if !ok {
+			return
+		}
+		buf := []*request{first}
+		// Opportunistic drain: whatever is already queued joins the batch
+		// immediately — under saturation batches fill here, timer-free.
+	drain:
+		for len(buf) < s.opts.MaxBatch {
+			select {
+			case r, ok2 := <-s.reqCh:
+				if !ok2 {
+					s.dispatch(buf, &s.nShutdown)
+					return
+				}
+				buf = append(buf, r)
+			default:
+				break drain
+			}
+		}
+		if len(buf) >= s.opts.MaxBatch {
+			s.dispatch(buf, &s.nFull)
+			continue
+		}
+		// Deadline of the OLDEST pending request bounds its queueing time.
+		timer := time.NewTimer(time.Until(first.enq.Add(s.opts.MaxDelay)))
+		flushed := false
+	collect:
+		for len(buf) < s.opts.MaxBatch {
+			select {
+			case r, ok2 := <-s.reqCh:
+				if !ok2 {
+					timer.Stop()
+					s.dispatch(buf, &s.nShutdown)
+					return
+				}
+				buf = append(buf, r)
+			case <-timer.C:
+				s.dispatch(buf, &s.nDeadline)
+				flushed = true
+				break collect
+			}
+		}
+		if !flushed {
+			timer.Stop()
+			s.dispatch(buf, &s.nFull)
+		}
+	}
+}
+
+// dispatch hands a batch to the worker pool and clears it.
+func (s *Server) dispatch(buf []*request, reason *int64) {
+	if len(buf) == 0 {
+		return
+	}
+	atomic.AddInt64(reason, 1)
+	s.jobCh <- &job{reqs: buf}
+}
+
+// worker executes jobs on one replica until the job channel closes.
+func (s *Server) worker(m *model.GraphTransformer) {
+	defer s.workersWG.Done()
+	for j := range s.jobCh {
+		s.runJob(m, j)
+	}
+}
+
+// runJob builds the batch sequence, runs one grad-free forward and fans the
+// per-request rows back out as responses.
+func (s *Server) runJob(m *model.GraphTransformer, j *job) {
+	start := time.Now()
+	nodes := make([]int32, len(j.reqs))
+	for i, r := range j.reqs {
+		nodes[i] = r.node
+	}
+	b, err := s.buildBatch(nodes)
+	if err != nil {
+		for _, r := range j.reqs {
+			r.resp <- Response{Node: r.node, Err: err}
+		}
+		return
+	}
+	logits := m.Forward(b.in, b.spec, false)
+	infer := time.Since(start)
+	for i, r := range j.reqs {
+		probs := softmax(logits.Row(b.targets[i]))
+		r.resp <- Response{
+			Node: r.node, Class: argmax(probs), Probs: probs,
+			BatchSize: len(j.reqs), Queued: start.Sub(r.enq), Infer: infer,
+		}
+	}
+	// Step boundary: responses hold heap copies, recycle the workspaces.
+	m.Runtime().StepReset()
+	atomic.AddInt64(&s.nBatches, 1)
+	atomic.AddInt64(&s.sumBatch, int64(len(j.reqs)))
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"torchgt/internal/model"
+	"torchgt/internal/nn"
+)
+
+// Snapshot is a frozen, trained model: the architecture configuration plus an
+// immutable copy of every parameter, detached from the trainer that produced
+// it. Freezing copies the weights, so continued training (or a second run on
+// the same model) cannot mutate what the server is executing. Snapshots are
+// the only currency between training and serving.
+type Snapshot struct {
+	cfg       model.Config
+	blob      []byte // nn checkpoint encoding of the parameters
+	numParams int    // scalar parameter count, recorded at freeze/load time
+}
+
+// Freeze extracts a serving snapshot from a trained model. The model's own
+// configuration (including its seed, so replicas rebuild identical shapes)
+// travels with the weights.
+func Freeze(m *model.GraphTransformer) (*Snapshot, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, m.Params()); err != nil {
+		return nil, fmt.Errorf("serve: freeze: %w", err)
+	}
+	return &Snapshot{cfg: m.Cfg, blob: buf.Bytes(), numParams: nn.NumParams(m)}, nil
+}
+
+// Config reports the architecture the snapshot was frozen from.
+func (s *Snapshot) Config() model.Config { return s.cfg }
+
+// NumParams reports the frozen parameter count (scalar elements).
+func (s *Snapshot) NumParams() int { return s.numParams }
+
+// Materialize builds a fresh model replica carrying the frozen weights.
+// Dropout is forced to zero: replicas only ever run grad-free inference
+// passes, and a zero rate keeps the configuration honest about that. Each
+// call returns an independent replica, so per-worker models share no mutable
+// state.
+func (s *Snapshot) Materialize() (*model.GraphTransformer, error) {
+	cfg := s.cfg
+	cfg.Dropout = 0
+	m := model.NewGraphTransformer(cfg)
+	if err := nn.LoadParams(bytes.NewReader(s.blob), m.Params()); err != nil {
+		return nil, fmt.Errorf("serve: materialize: %w", err)
+	}
+	return m, nil
+}
+
+// Snapshot file format: magic, version, a length-prefixed JSON header with
+// the model configuration, then the nn checkpoint blob.
+const (
+	snapshotMagic   = 0x74475376 // "tGSv"
+	snapshotVersion = 1
+	maxConfigBytes  = 1 << 16
+)
+
+// Save writes the snapshot to path.
+func (s *Snapshot) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	hdr, err := json.Marshal(s.cfg)
+	if err != nil {
+		return err
+	}
+	for _, v := range []uint32{snapshotMagic, snapshotVersion, uint32(len(hdr))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := bw.Write(s.blob); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot reads a snapshot written by Save and verifies it materializes
+// into a consistent model.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var magic, version, hdrLen uint32
+	for _, dst := range []*uint32{&magic, &version, &hdrLen} {
+		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("serve: corrupt snapshot %s: %w", path, err)
+		}
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("serve: %s is not a snapshot file", path)
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("serve: unsupported snapshot version %d", version)
+	}
+	if hdrLen == 0 || hdrLen > maxConfigBytes {
+		return nil, fmt.Errorf("serve: corrupt snapshot header (%d bytes)", hdrLen)
+	}
+	hdr := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("serve: corrupt snapshot %s: %w", path, err)
+	}
+	s := &Snapshot{}
+	if err := json.Unmarshal(hdr, &s.cfg); err != nil {
+		return nil, fmt.Errorf("serve: corrupt snapshot config: %w", err)
+	}
+	if s.blob, err = io.ReadAll(br); err != nil {
+		return nil, err
+	}
+	// A snapshot that cannot materialize (truncated blob, config/weight
+	// mismatch) is rejected at load time, not at first request.
+	m, err := s.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	s.numParams = nn.NumParams(m)
+	return s, nil
+}

@@ -73,6 +73,30 @@ func FromGraph(g *graph.Graph) *Pattern {
 	return &Pattern{S: gl.N, RowPtr: gl.RowPtr, ColIdx: gl.ColIdx}
 }
 
+// LocalEdgeBuckets assigns an SPD bias bucket to every pattern entry: 0 for
+// self-attention, 1 for direct edges (the only distances a topology-induced
+// pattern contains), with globalBucket for pairs touching token 0 when
+// hasGlobal. This is THE bucket convention shared by the training loops and
+// the serving engine — change it in one place only.
+func (p *Pattern) LocalEdgeBuckets(hasGlobal bool, globalBucket int32) []int32 {
+	out := make([]int32, p.NNZ())
+	idx := 0
+	for i := 0; i < p.S; i++ {
+		for _, j := range p.Row(i) {
+			switch {
+			case int32(i) == j:
+				out[idx] = 0
+			case hasGlobal && (i == 0 || j == 0):
+				out[idx] = globalBucket
+			default:
+				out[idx] = 1
+			}
+			idx++
+		}
+	}
+	return out
+}
+
 // FromPairs builds a pattern from an explicit pair list (deduplicated).
 func FromPairs(s int, pairs []graph.Edge) *Pattern {
 	g := graph.FromEdges(s, pairs, false)

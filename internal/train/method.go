@@ -63,24 +63,9 @@ func ParseMethod(s string) (Method, error) {
 	return 0, fmt.Errorf("train: unknown method %q", s)
 }
 
-// edgeBucketsFor assigns an SPD bias bucket to every pattern entry: 0 for
-// self-attention, 1 for direct edges (the only distances a sparse pattern
-// contains), with globalBucket for pairs touching token 0 when hasGlobal.
+// edgeBucketsFor assigns an SPD bias bucket to every pattern entry; the
+// convention lives in sparse.Pattern.LocalEdgeBuckets, shared with the
+// serving engine.
 func edgeBucketsFor(p *sparse.Pattern, hasGlobal bool, globalBucket int32) []int32 {
-	out := make([]int32, p.NNZ())
-	idx := 0
-	for i := 0; i < p.S; i++ {
-		for _, j := range p.Row(i) {
-			switch {
-			case int32(i) == j:
-				out[idx] = 0
-			case hasGlobal && (i == 0 || j == 0):
-				out[idx] = globalBucket
-			default:
-				out[idx] = 1
-			}
-			idx++
-		}
-	}
-	return out
+	return p.LocalEdgeBuckets(hasGlobal, globalBucket)
 }

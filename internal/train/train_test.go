@@ -14,6 +14,15 @@ func smallNodeDataset(seed int64) *graph.NodeDataset {
 	})
 }
 
+// skipIfShort gates slow convergence tests out of the default CI test lane;
+// the full (non-blocking) lane runs them.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("slow convergence test skipped with -short")
+	}
+}
+
 func TestParseMethod(t *testing.T) {
 	for _, m := range []Method{GPRaw, GPFlash, GPSparse, TorchGT, TorchGTBF16, NodeFormerKernel} {
 		got, err := ParseMethod(m.String())
@@ -79,6 +88,7 @@ func trainNode(t *testing.T, method Method, epochs int) *Result {
 }
 
 func TestNodeTrainerAllMethodsLearn(t *testing.T) {
+	skipIfShort(t)
 	for _, m := range []Method{GPFlash, GPSparse, TorchGT} {
 		res := trainNode(t, m, 30)
 		if len(res.Curve) != 30 {
@@ -121,6 +131,7 @@ func TestNodeTrainerBF16Runs(t *testing.T) {
 }
 
 func TestGraphTrainerClassification(t *testing.T) {
+	skipIfShort(t)
 	ds := graph.MakeGraphDataset(graph.GraphDatasetConfig{
 		Name: "t", Task: graph.GraphClassification, NumGraphs: 60,
 		MinNodes: 8, MaxNodes: 16, FeatDim: 8, Classes: 2, Seed: 5,
@@ -144,6 +155,7 @@ func TestGraphTrainerClassification(t *testing.T) {
 }
 
 func TestGraphTrainerRegression(t *testing.T) {
+	skipIfShort(t)
 	ds := graph.MakeGraphDataset(graph.GraphDatasetConfig{
 		Name: "t", Task: graph.GraphRegression, NumGraphs: 60,
 		MinNodes: 8, MaxNodes: 16, FeatDim: 8, Seed: 8,
@@ -164,6 +176,7 @@ func TestGraphTrainerRegression(t *testing.T) {
 }
 
 func TestSeqTrainerLongerIsBetter(t *testing.T) {
+	skipIfShort(t)
 	// Fig. 1's mechanism: with heavy feature noise, longer sequences give
 	// more same-class context and better accuracy.
 	ds := graph.MakeNodeDataset(graph.NodeDatasetConfig{
@@ -204,6 +217,7 @@ func TestNodeTrainerFixedBetaVariants(t *testing.T) {
 }
 
 func TestEgoTrainerRunsAndLearns(t *testing.T) {
+	skipIfShort(t)
 	ds := graph.MakeNodeDataset(graph.NodeDatasetConfig{
 		Name: "t", NumNodes: 256, NumBlocks: 8, NumClasses: 4, FeatDim: 12,
 		AvgDegIn: 10, AvgDegOut: 1, NoiseStd: 0.5, Seed: 30, Shuffle: true,

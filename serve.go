@@ -1,0 +1,84 @@
+package torchgt
+
+import (
+	"fmt"
+	"time"
+
+	"torchgt/internal/serve"
+	"torchgt/internal/train"
+)
+
+// Serving: the batched inference subsystem. A trained model is frozen into a
+// Snapshot, and a Server fronts grad-free forward passes with a request
+// queue plus a dynamic micro-batching scheduler (flush on batch size or
+// latency deadline, whichever first) over a pool of Runtime-backed replica
+// workers. See DESIGN.md ("Serving") for the scheduler's trade-offs.
+type (
+	// Server is the batched inference engine over one dataset's graph.
+	Server = serve.Server
+	// ServeOptions tunes the engine: worker/replica count, batch size,
+	// flush deadline, attention kernel and ego-context shape.
+	ServeOptions = serve.Options
+	// ServeResponse is the result of one classification request.
+	ServeResponse = serve.Response
+	// ServeStats snapshots the engine counters.
+	ServeStats = serve.Stats
+	// Snapshot is a frozen trained model: configuration + immutable weights.
+	Snapshot = serve.Snapshot
+	// ServeMode selects the serving attention kernel (sparse by default).
+	ServeMode = serve.Mode
+)
+
+// Serving attention kernels.
+const (
+	ServeSparse        = serve.ModeSparse
+	ServeDense         = serve.ModeDense
+	ServeFlash         = serve.ModeFlash
+	ServeFlashBF16     = serve.ModeFlashBF16
+	ServeClusterSparse = serve.ModeClusterSparse
+	ServeKernelized    = serve.ModeKernelized
+)
+
+// ParseServeMode converts a CLI name ("sparse", "dense", "flash",
+// "flash-bf16", "cluster-sparse", "kernelized") into a ServeMode.
+func ParseServeMode(s string) (ServeMode, error) { return serve.ParseMode(s) }
+
+// Freeze extracts an immutable serving snapshot from a trained model.
+func Freeze(m *GraphTransformer) (*Snapshot, error) { return serve.Freeze(m) }
+
+// SaveSnapshot writes a snapshot to path; LoadSnapshot reads it back.
+func SaveSnapshot(path string, s *Snapshot) error { return s.Save(path) }
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot.
+func LoadSnapshot(path string) (*Snapshot, error) { return serve.LoadSnapshot(path) }
+
+// NewServer starts a batched inference server for ds from a frozen snapshot.
+func NewServer(snap *Snapshot, ds *NodeDataset, opts ServeOptions) (*Server, error) {
+	return serve.NewServer(snap, ds, opts)
+}
+
+// ServeLoadPoint summarises one offered-load run against a Server.
+type ServeLoadPoint = serve.LoadPoint
+
+// RunServeLoad drives a server with an open-loop arrival process at rps
+// requests/second for dur, cycling through nodes, and reports achieved
+// throughput and p50/p99 latency.
+func RunServeLoad(s *Server, nodes []int32, rps float64, dur time.Duration) ServeLoadPoint {
+	return serve.RunLoad(s, nodes, rps, dur)
+}
+
+// TrainNodeSnapshot trains like TrainNode and additionally freezes the
+// trained weights into a serving snapshot — the one-call path from data to a
+// servable model.
+func TrainNodeSnapshot(method Method, cfg ModelConfig, ds *NodeDataset, opts TrainOptions) (*Result, *Snapshot, error) {
+	if ds == nil {
+		return nil, nil, fmt.Errorf("torchgt: nil dataset")
+	}
+	tr := train.NewNodeTrainer(opts.nodeConfig(method), cfg, ds)
+	res := tr.Run()
+	snap, err := serve.Freeze(tr.Model)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, snap, nil
+}

@@ -1,0 +1,73 @@
+package torchgt
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestPublicServing exercises the full public path: train → freeze →
+// snapshot file round trip → serve → deterministic predictions.
+func TestPublicServing(t *testing.T) {
+	ds, err := LoadNodeDataset("arxiv-sim", 256, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GraphormerSlim(ds.X.Cols, ds.NumClasses, 62)
+	cfg.Layers = 2
+	res, snap, err := TrainNodeSnapshot(MethodTorchGT, cfg, ds, TrainOptions{Epochs: 3, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 3 {
+		t.Fatal("training did not run")
+	}
+	if snap.Config().Name != cfg.Name {
+		t.Fatal("snapshot lost its configuration")
+	}
+
+	path := filepath.Join(t.TempDir(), "m.snap")
+	if err := SaveSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mode, err := ParseServeMode("sparse")
+	if err != nil || mode != ServeSparse {
+		t.Fatalf("mode parse failed: %v %v", mode, err)
+	}
+	srv, err := NewServer(loaded, ds, ServeOptions{
+		Workers: 2, MaxBatch: 4, MaxDelay: time.Millisecond, Mode: mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	batch := []int32{0, 17, 101, 255}
+	a := srv.PredictBatch(batch)
+	b := srv.PredictBatch(batch)
+	for i := range a {
+		if a[i].Err != nil {
+			t.Fatal(a[i].Err)
+		}
+		if int(a[i].Class) < 0 || int(a[i].Class) >= ds.NumClasses {
+			t.Fatalf("class %d out of range", a[i].Class)
+		}
+		for j := range a[i].Probs {
+			if math.Float32bits(a[i].Probs[j]) != math.Float32bits(b[i].Probs[j]) {
+				t.Fatal("public serving path not deterministic")
+			}
+		}
+	}
+	if r := srv.Predict(batch[0]); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if st := srv.Stats(); st.Requests == 0 || st.Batches == 0 {
+		t.Fatalf("stats not tracked: %+v", st)
+	}
+}

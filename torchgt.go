@@ -148,17 +148,23 @@ func (o TrainOptions) beta() float64 {
 	return -1
 }
 
+// nodeConfig is the single TrainOptions→train.NodeConfig mapping, shared by
+// TrainNode and TrainNodeSnapshot so the two paths cannot drift.
+func (o TrainOptions) nodeConfig(method Method) train.NodeConfig {
+	return train.NodeConfig{
+		Method: method, Epochs: o.epochs(), LR: o.LR,
+		Interval: o.Interval, ClusterK: o.ClusterK, Db: o.Db,
+		FixedBeta: o.beta(), Seed: o.Seed, Exec: o.Exec,
+	}
+}
+
 // TrainNode trains a graph transformer for node classification with the
 // given method over the full graph sequence.
 func TrainNode(method Method, cfg ModelConfig, ds *NodeDataset, opts TrainOptions) (*Result, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("torchgt: nil dataset")
 	}
-	tr := train.NewNodeTrainer(train.NodeConfig{
-		Method: method, Epochs: opts.epochs(), LR: opts.LR,
-		Interval: opts.Interval, ClusterK: opts.ClusterK, Db: opts.Db,
-		FixedBeta: opts.beta(), Seed: opts.Seed, Exec: opts.Exec,
-	}, cfg, ds)
+	tr := train.NewNodeTrainer(opts.nodeConfig(method), cfg, ds)
 	return tr.Run(), nil
 }
 
