@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"torchgt"
 )
@@ -27,12 +30,16 @@ func main() {
 		}
 		return
 	}
+	// SIGINT aborts at the next training-step boundary instead of killing
+	// the process mid-report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	full := *scale != "smoke"
 	var err error
 	if *exp == "all" {
-		err = torchgt.RunAllExperiments(os.Stdout, full)
+		err = torchgt.RunAllExperimentsContext(ctx, os.Stdout, full)
 	} else {
-		err = torchgt.RunExperiment(*exp, os.Stdout, full)
+		err = torchgt.RunExperimentContext(ctx, *exp, os.Stdout, full)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "torchgt-bench:", err)

@@ -11,12 +11,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"torchgt"
@@ -99,8 +103,8 @@ func main() {
 		o.Workers, o.MaxBatch, o.MaxDelay, o.Mode, o.CtxSize)
 
 	if *httpAddr != "" {
-		fmt.Printf("listening on %s (GET /predict?node=N, /stats, /healthz)\n", *httpAddr)
-		fail(http.ListenAndServe(*httpAddr, srv.Handler()))
+		serveHTTP(*httpAddr, srv)
+		return
 	}
 
 	rates, err := parseLoads(*loads)
@@ -126,6 +130,40 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("\ntotals: %d requests, %d batches (%.1f avg), %d full / %d deadline flushes\n",
 		st.Requests, st.Batches, st.AvgBatchSize, st.FlushFull, st.FlushDeadline)
+}
+
+// serveHTTP runs the HTTP front end until SIGINT/SIGTERM, then shuts down
+// gracefully: in-flight HTTP requests complete via http.Server.Shutdown, the
+// engine drains its queue (drained batches are counted separately in
+// Stats.FlushShutdown, visible on /stats until the listener stops), and the
+// final counters are printed.
+func serveHTTP(addr string, srv *torchgt.Server) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Printf("listening on %s (GET /predict?node=N, /stats, /healthz); SIGINT drains and exits\n", addr)
+
+	select {
+	case err := <-errCh:
+		fail(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("\nshutting down: draining in-flight requests...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "torchgt-serve: shutdown:", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "torchgt-serve:", err)
+	}
+	srv.Close() // answers everything still queued, counted as FlushShutdown
+	st := srv.Stats()
+	fmt.Printf("drained: %d requests, %d batches (%d shutdown flushes, %d cancelled)\n",
+		st.Requests, st.Batches, st.FlushShutdown, st.Cancelled)
 }
 
 func parseLoads(s string) ([]float64, error) {

@@ -1,17 +1,27 @@
 // torchgt-train trains a graph transformer on a synthetic dataset with one
-// of the paper's methods and prints the convergence curve.
+// of the paper's methods, streaming per-epoch progress. Runs are full
+// training sessions: they can be interrupted (SIGINT checkpoints and exits),
+// checkpointed periodically, and resumed exactly.
 //
 // Usage:
 //
 //	torchgt-train -dataset arxiv-sim -model gph-slim -method torchgt -epochs 20
 //	torchgt-train -dataset zinc-sim -model gt -method gp-sparse
+//	torchgt-train -checkpoint-dir ckpts -checkpoint-every 5 -epochs 100
+//	torchgt-train -resume ckpts/epoch-00010.ckpt -dataset arxiv-sim
+//	torchgt-train -seqlen 512 -patience 8
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 
 	"torchgt"
 )
@@ -29,10 +39,20 @@ func main() {
 	nodes := flag.Int("nodes", 2048, "node count for node-level datasets (0 = preset)")
 	lr := flag.Float64("lr", 2e-3, "learning rate")
 	seed := flag.Int64("seed", 1, "random seed")
+	seqLen := flag.Int("seqlen", 0, "mini-batched sequence length (node-level; 0 = full-graph sequence)")
 	workers := flag.Int("workers", 1, "simulated sequence-parallel workers (node-level, sparse attention)")
 	execWorkers := flag.Int("exec-workers", 0, "attention-head parallelism (0 = all cores)")
 	unpooled := flag.Bool("unpooled", false, "disable workspace pooling (debug/benchmark)")
+	patience := flag.Int("patience", 0, "early-stopping patience in epochs (0 = off)")
+	ckptDir := flag.String("checkpoint-dir", "", "write periodic checkpoints into this directory (also the SIGINT checkpoint)")
+	ckptEvery := flag.Int("checkpoint-every", 10, "checkpoint period in epochs (with -checkpoint-dir)")
+	resume := flag.String("resume", "", "resume from a checkpoint file instead of starting fresh")
 	flag.Parse()
+
+	// SIGINT/SIGTERM stop training at the next step boundary; the partial
+	// run is checkpointed (with -checkpoint-dir) before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	m, err := torchgt.ParseMethod(*method)
 	if err != nil {
@@ -50,9 +70,31 @@ func main() {
 			return torchgt.GraphormerSlim(in, out, *seed)
 		}
 	}
-	opts := torchgt.TrainOptions{
-		Epochs: *epochs, LR: *lr, Seed: *seed,
-		Exec: &torchgt.ExecOptions{Workers: *execWorkers, PoolEnabled: !*unpooled},
+	// When resuming, flags left at their defaults must not override the
+	// checkpoint's configuration — only explicitly-given flags do.
+	given := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { given[f.Name] = true })
+	fresh := *resume == ""
+
+	opts := []torchgt.SessionOption{torchgt.WithEventSink(printEvents)}
+	addIf := func(cond bool, o torchgt.SessionOption) {
+		if cond {
+			opts = append(opts, o)
+		}
+	}
+	addIf(fresh || given["epochs"], torchgt.WithEpochs(*epochs))
+	addIf(fresh || given["lr"], torchgt.WithLR(*lr))
+	addIf(fresh, torchgt.WithSeed(*seed))
+	addIf(fresh, torchgt.WithExec(torchgt.ExecOptions{Workers: *execWorkers, PoolEnabled: !*unpooled}))
+	// An explicit -patience always applies (0 disables early stopping, also
+	// when a resumed checkpoint carried a non-zero patience).
+	addIf(given["patience"] || (fresh && *patience > 0), torchgt.WithEarlyStopping(*patience))
+	addIf(fresh && *seqLen > 0, torchgt.WithSeqLen(*seqLen))
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fail(err)
+		}
+		opts = append(opts, torchgt.WithCheckpointEvery(*ckptEvery, *ckptDir))
 	}
 
 	isGraphLevel := false
@@ -61,6 +103,8 @@ func main() {
 			isGraphLevel = true
 		}
 	}
+	var sess *torchgt.Session
+	var task torchgt.TaskSpec
 	if isGraphLevel {
 		ds, err := torchgt.LoadGraphDataset(*dataset, *seed)
 		if err != nil {
@@ -70,15 +114,13 @@ func main() {
 		if outDim == 0 {
 			outDim = 1
 		}
-		res, mae, err := torchgt.TrainGraphLevel(m, cfgFor(ds.FeatDim, outDim), ds, opts)
-		if err != nil {
-			fail(err)
-		}
-		printCurve(res)
-		if mae > 0 {
+		task = torchgt.GraphLevelTask(ds)
+		sess = openSession(*resume, m, cfgFor(ds.FeatDim, outDim), task, opts)
+		runSession(ctx, sess, *ckptDir)
+		if mae := sess.EvalMAE(); mae > 0 {
 			fmt.Printf("final test MAE: %.4f\n", mae)
 		} else {
-			fmt.Printf("final test accuracy: %.2f%%\n", res.FinalTestAcc*100)
+			fmt.Printf("final test accuracy: %.2f%%\n", sess.Result().FinalTestAcc*100)
 		}
 		return
 	}
@@ -94,13 +136,83 @@ func main() {
 		trainDistributed(*workers, cfg, ds, *epochs, *lr)
 		return
 	}
-	res, err := torchgt.TrainNode(m, cfg, ds, opts)
+	if *seqLen > 0 {
+		task = torchgt.NodeSeqTask(ds)
+	} else {
+		task = torchgt.NodeTask(ds)
+	}
+	sess = openSession(*resume, m, cfg, task, opts)
+	runSession(ctx, sess, *ckptDir)
+	res := sess.Result()
+	fmt.Printf("final test accuracy: %.2f%%  (preprocess %.3fs, avg epoch %.3fs)\n",
+		res.FinalTestAcc*100, res.PreprocessTime.Seconds(), res.AvgEpochTime.Seconds())
+}
+
+// openSession builds a fresh session or resumes a checkpoint.
+func openSession(resume string, m torchgt.Method, cfg torchgt.ModelConfig, task torchgt.TaskSpec, opts []torchgt.SessionOption) *torchgt.Session {
+	if resume != "" {
+		s, err := torchgt.ResumeSession(resume, task, opts...)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("resumed %s at epoch %d\n", resume, s.Epoch())
+		return s
+	}
+	s, err := torchgt.NewSession(m, cfg, task, opts...)
 	if err != nil {
 		fail(err)
 	}
-	printCurve(res)
-	fmt.Printf("final test accuracy: %.2f%%  (preprocess %.3fs, avg epoch %.3fs)\n",
-		res.FinalTestAcc*100, res.PreprocessTime.Seconds(), res.AvgEpochTime.Seconds())
+	return s
+}
+
+// runSession drives the session; on SIGINT it checkpoints the partial run
+// (when -checkpoint-dir is set) and exits cleanly.
+func runSession(ctx context.Context, sess *torchgt.Session, ckptDir string) {
+	fmt.Println("epoch  loss      test-acc  epoch-time")
+	_, err := sess.Run(ctx)
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, context.Canceled) {
+		fail(err)
+	}
+	fmt.Printf("\ninterrupted at epoch %d\n", sess.Epoch())
+	if ckptDir == "" {
+		fmt.Println("no -checkpoint-dir set; progress not saved")
+		os.Exit(130)
+	}
+	path := filepath.Join(ckptDir, "interrupted.ckpt")
+	if err := sess.Checkpoint(path); err != nil {
+		fail(err)
+	}
+	fmt.Printf("checkpoint written to %s (resume with -resume %s)\n", path, path)
+	os.Exit(130)
+}
+
+// printEvents streams session events as they happen.
+func printEvents(e torchgt.Event) {
+	switch ev := e.(type) {
+	case torchgt.EpochEvent:
+		p := ev.Point
+		fmt.Printf("%5d  %-8.4f  %-7.4f   %s\n", p.Epoch, p.Loss, p.TestAcc, p.EpochTime)
+	case torchgt.PhaseEvent:
+		mode := "dense"
+		if ev.Sparse {
+			mode = "sparse"
+		}
+		fmt.Printf("       [interleave] epoch %d enters a %s phase\n", ev.Epoch, mode)
+	case torchgt.BetaEvent:
+		fmt.Printf("       [auto-tuner] epoch %d: βthre → %.5f (ladder %d)\n", ev.Epoch, ev.Beta, ev.Index)
+	case torchgt.CheckpointEvent:
+		if ev.Err != nil {
+			fmt.Fprintf(os.Stderr, "       [checkpoint] epoch %d: %v\n", ev.Epoch, ev.Err)
+		} else {
+			fmt.Printf("       [checkpoint] %s\n", ev.Path)
+		}
+	case torchgt.EarlyStopEvent:
+		fmt.Printf("       [early-stop] epoch %d: no improvement in %d epochs (best %.4f)\n",
+			ev.Epoch, ev.Patience, ev.Best)
+	}
 }
 
 // trainDistributed runs the channel-based P-worker sequence-parallel loop.
@@ -117,13 +229,5 @@ func trainDistributed(p int, cfg torchgt.ModelConfig, ds *torchgt.NodeDataset, e
 		loss := tr.Step(in, spec, ds.Y, ds.TrainMask)
 		fmt.Printf("epoch %3d  loss %.4f  comm %.1f MB\n", ep, loss,
 			float64(tr.Comm.TotalBytes())/(1<<20))
-	}
-}
-
-func printCurve(res *torchgt.Result) {
-	fmt.Printf("method %s\n", res.Method)
-	fmt.Println("epoch  loss      test-acc  epoch-time")
-	for _, p := range res.Curve {
-		fmt.Printf("%5d  %-8.4f  %-7.4f   %s\n", p.Epoch, p.Loss, p.TestAcc, p.EpochTime)
 	}
 }

@@ -6,16 +6,19 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 )
 
-// Experiment is a runnable reproduction unit.
+// Experiment is a runnable reproduction unit. Run honours ctx: experiments
+// drive their training through the shared Loop engine (trainer RunCtx), so
+// cancellation stops at the next optimiser-step boundary.
 type Experiment struct {
 	ID    string // e.g. "table5", "fig9a"
 	Title string
-	Run   func(w io.Writer, scale Scale) error
+	Run   func(ctx context.Context, w io.Writer, scale Scale) error
 }
 
 // Scale selects how big the synthetic workloads are.
@@ -49,12 +52,15 @@ func IDs() []string {
 }
 
 // RunAll executes every experiment at the given scale, writing a combined
-// report.
-func RunAll(w io.Writer, scale Scale) error {
+// report. Cancelling ctx aborts between (and within) experiments.
+func RunAll(ctx context.Context, w io.Writer, scale Scale) error {
 	for _, id := range IDs() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		e := registry[id]
 		fmt.Fprintf(w, "\n================ %s — %s ================\n", e.ID, e.Title)
-		if err := e.Run(w, scale); err != nil {
+		if err := e.Run(ctx, w, scale); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 	}

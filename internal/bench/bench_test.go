@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -38,7 +39,7 @@ func smokeRun(t *testing.T, id string) string {
 		t.Fatalf("missing experiment %s", id)
 	}
 	var buf bytes.Buffer
-	if err := e.Run(&buf, ScaleSmoke); err != nil {
+	if err := e.Run(context.Background(), &buf, ScaleSmoke); err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
 	out := buf.String()

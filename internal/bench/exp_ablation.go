@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -28,7 +29,7 @@ func init() {
 // Attention: interval 1 = dense every step (full attention), large interval
 // ≈ pure sparse. The paper's design point (periodic overlay) should match
 // full-attention accuracy at a fraction of the pairs.
-func runAblationInterleave(w io.Writer, scale Scale) error {
+func runAblationInterleave(ctx context.Context, w io.Writer, scale Scale) error {
 	nodes, epochs := 2048, 16
 	if scale == ScaleSmoke {
 		nodes, epochs = 512, 6
@@ -44,7 +45,10 @@ func runAblationInterleave(w io.Writer, scale Scale) error {
 			Method: train.TorchGT, Epochs: epochs, LR: 2e-3,
 			Interval: interval, FixedBeta: -1, Seed: 65,
 		}, cfg, ds)
-		res := tr.Run()
+		res, err := tr.RunCtx(ctx)
+		if err != nil {
+			return err
+		}
 		dense := 0
 		for ep := 0; ep < epochs; ep++ {
 			if interval <= 1 || ep%interval == 0 {
@@ -72,7 +76,7 @@ func runAblationInterleave(w io.Writer, scale Scale) error {
 // runAblationReorder measures what the METIS cluster reordering buys: the
 // diagonal concentration of the pattern and the cluster-sparse kernel time,
 // with and without the reorder.
-func runAblationReorder(w io.Writer, scale Scale) error {
+func runAblationReorder(ctx context.Context, w io.Writer, scale Scale) error {
 	s := 4096
 	if scale == ScaleSmoke {
 		s = 1024
@@ -126,7 +130,7 @@ func runAblationReorder(w io.Writer, scale Scale) error {
 
 // runAblationDb measures real CPU cluster-sparse kernel time across db, the
 // wall-clock companion to the simulated Fig. 6.
-func runAblationDb(w io.Writer, scale Scale) error {
+func runAblationDb(ctx context.Context, w io.Writer, scale Scale) error {
 	s := 4096
 	if scale == ScaleSmoke {
 		s = 1024
@@ -165,7 +169,7 @@ func runAblationDb(w io.Writer, scale Scale) error {
 // runAblationSampling reproduces the paper's issue-I2 claim: ego-graph
 // sampled training (Gophormer/NAGphormer family) drops connectivity and
 // loses accuracy against long-sequence training at the same epoch budget.
-func runAblationSampling(w io.Writer, scale Scale) error {
+func runAblationSampling(ctx context.Context, w io.Writer, scale Scale) error {
 	nodes, egoEpochs := 1024, 3
 	if scale == ScaleSmoke {
 		nodes, egoEpochs = 512, 2
@@ -199,7 +203,10 @@ func runAblationSampling(w io.Writer, scale Scale) error {
 	long := train.NewNodeTrainer(train.NodeConfig{
 		Method: train.TorchGT, Epochs: egoSteps, LR: 2e-3, FixedBeta: -1, Seed: 77,
 	}, cfg, ds)
-	longRes := long.Run()
+	longRes, err := long.RunCtx(ctx)
+	if err != nil {
+		return err
+	}
 
 	tb := &table{header: []string{"training regime", "updates", "test acc"}}
 	tb.addRow("ego-graph sampling (≤16 nodes/target)", fmt.Sprint(egoSteps), pct(egoRes.FinalTestAcc))
@@ -217,7 +224,7 @@ func runAblationSampling(w io.Writer, scale Scale) error {
 // NLP-style BigBird pattern at matched density — the paper's issue-I2 claim
 // that structure-agnostic sparse attention "fails to consider the inherent
 // graph structure ... resulting in subpar model performance".
-func runAblationBigBird(w io.Writer, scale Scale) error {
+func runAblationBigBird(ctx context.Context, w io.Writer, scale Scale) error {
 	nodes, epochs := 2048, 16
 	if scale == ScaleSmoke {
 		nodes, epochs = 512, 6

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -50,7 +51,7 @@ func twoCols(labels []string) []string {
 	return out
 }
 
-func runFig8(w io.Writer, scale Scale) error {
+func runFig8(ctx context.Context, w io.Writer, scale Scale) error {
 	nodes, epochs := 2048, 20
 	if scale == ScaleSmoke {
 		nodes, epochs = 512, 6
@@ -81,7 +82,11 @@ func runFig8(w io.Writer, scale Scale) error {
 			tr := train.NewNodeTrainer(train.NodeConfig{
 				Method: m, Epochs: epochs, LR: 2e-3, FixedBeta: -1, Seed: 53,
 			}, cfg, ds)
-			results = append(results, tr.Run())
+			res, err := tr.RunCtx(ctx)
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
 		}
 		fmt.Fprintf(w, "\n%s / %s (accuracy vs cumulative time):\n", cse.model, cse.ds)
 		curveTable(w, []string{"torchgt", "gp-flash"}, results, 2)
@@ -90,7 +95,7 @@ func runFig8(w io.Writer, scale Scale) error {
 	return nil
 }
 
-func runFig10(w io.Writer, scale Scale) error {
+func runFig10(ctx context.Context, w io.Writer, scale Scale) error {
 	nodes, epochs := 2048, 20
 	if scale == ScaleSmoke {
 		nodes, epochs = 512, 6
@@ -111,7 +116,11 @@ func runFig10(w io.Writer, scale Scale) error {
 			tr := train.NewNodeTrainer(train.NodeConfig{
 				Method: m, Epochs: epochs, LR: 2e-3, FixedBeta: -1, Seed: 57,
 			}, cfg, ds)
-			results = append(results, tr.Run())
+			res, err := tr.RunCtx(ctx)
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
 		}
 		fmt.Fprintf(w, "\n%s / arxiv-sim:\n", mname)
 		curveTable(w, []string{"interleaved", "flash", "sparse"}, results, 2)
@@ -122,7 +131,7 @@ func runFig10(w io.Writer, scale Scale) error {
 	return nil
 }
 
-func runFig11(w io.Writer, scale Scale) error {
+func runFig11(ctx context.Context, w io.Writer, scale Scale) error {
 	graphs, epochs := 200, 12
 	if scale == ScaleSmoke {
 		graphs, epochs = 60, 5
@@ -144,7 +153,10 @@ func runFig11(w io.Writer, scale Scale) error {
 		tr := train.NewGraphTrainer(train.GraphConfig{
 			Method: mc.method, Epochs: epochs, LR: 2e-3, BatchSize: 8, Seed: 61,
 		}, cfg, zinc)
-		res := tr.Run()
+		res, err := tr.RunCtx(ctx)
+		if err != nil {
+			return err
+		}
 		tb.addRow(mc.label, f3(tr.EvalMAE()), f3(res.Curve[len(res.Curve)-1].Loss))
 	}
 	tb.write(w)

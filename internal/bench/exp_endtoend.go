@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -43,7 +44,7 @@ func table5Workloads(scale Scale) (datasets []string, nodes, epochs int) {
 // by the memory model at the paper's sequence length (it cannot even
 // allocate, exactly like Table V's OOM entries); GP-Flash and TorchGT train
 // for real and also report simulated 3090 epoch times at paper scale.
-func runTable5(w io.Writer, scale Scale) error {
+func runTable5(ctx context.Context, w io.Writer, scale Scale) error {
 	datasets, nodes, epochs := table5Workloads(scale)
 	mm := &dist.MemoryModel{HW: dist.RTX3090}
 	pm := &dist.PerfModel{HW: dist.RTX3090}
@@ -74,7 +75,10 @@ func runTable5(w io.Writer, scale Scale) error {
 				tr := train.NewNodeTrainer(train.NodeConfig{
 					Method: method, Epochs: epochs, LR: 2e-3, FixedBeta: -1, Seed: 33,
 				}, cfg, ds)
-				res := tr.Run()
+				res, err := tr.RunCtx(ctx)
+				if err != nil {
+					return err
+				}
 				measured := res.AvgEpochTime.Seconds()
 				kind := dist.KindDense
 				pairsPerHead := int64(ps) * int64(ps)
@@ -100,7 +104,7 @@ func runTable5(w io.Writer, scale Scale) error {
 }
 
 // runTable6 reports simulated A100 epoch times for GPH-Slim.
-func runTable6(w io.Writer, scale Scale) error {
+func runTable6(ctx context.Context, w io.Writer, scale Scale) error {
 	datasets, _, _ := table5Workloads(scale)
 	pm := &dist.PerfModel{HW: dist.A100}
 	cfg := model.GraphormerSlim(64, 10, 1)
@@ -118,7 +122,7 @@ func runTable6(w io.Writer, scale Scale) error {
 }
 
 // runTable7 compares GP-Flash (BF16), TorchGT-BF16 and TorchGT-FP32.
-func runTable7(w io.Writer, scale Scale) error {
+func runTable7(ctx context.Context, w io.Writer, scale Scale) error {
 	datasets := []string{"arxiv-sim", "amazon-sim"}
 	nodes, epochs := 2048, 15
 	if scale == ScaleSmoke {
@@ -143,7 +147,10 @@ func runTable7(w io.Writer, scale Scale) error {
 			tr := train.NewNodeTrainer(train.NodeConfig{
 				Method: mc.method, Epochs: epochs, LR: 2e-3, FixedBeta: -1, Seed: 37,
 			}, cfg, ds)
-			res := tr.Run()
+			res, err := tr.RunCtx(ctx)
+			if err != nil {
+				return err
+			}
 			tb.addRow(dsName, mc.label, f3(res.AvgEpochTime.Seconds()), pct(res.FinalTestAcc))
 		}
 	}
@@ -153,7 +160,7 @@ func runTable7(w io.Writer, scale Scale) error {
 }
 
 // runTable8 sweeps fixed βthre values plus the Auto Tuner.
-func runTable8(w io.Writer, scale Scale) error {
+func runTable8(ctx context.Context, w io.Writer, scale Scale) error {
 	nodes, epochs := 2048, 12
 	if scale == ScaleSmoke {
 		nodes, epochs = 512, 5
@@ -183,10 +190,14 @@ func runTable8(w io.Writer, scale Scale) error {
 			// finer cluster grid (k=16 → 256 clusters) so the βthre ladder
 			// meets a spread of cluster densities
 			tr := train.NewNodeTrainer(train.NodeConfig{
-				Method: train.TorchGT, Epochs: epochs, LR: 2e-3, FixedBeta: r.beta,
+				Method: train.TorchGT, Epochs: epochs, LR: 2e-3,
+				FixedBeta: r.beta, UseFixedBeta: r.beta >= 0,
 				ClusterK: 16, Db: 8, Seed: 41,
 			}, cfg, ds)
-			res := tr.Run()
+			res, err := tr.RunCtx(ctx)
+			if err != nil {
+				return err
+			}
 			tb.addRow(r.label, f3(res.AvgEpochTime.Seconds()), pct(res.FinalTestAcc),
 				fmt.Sprint(res.TotalPairs/int64(epochs)))
 		}
@@ -198,7 +209,7 @@ func runTable8(w io.Writer, scale Scale) error {
 }
 
 // runFig6 sweeps db through the GPU cache/warp simulator.
-func runFig6(w io.Writer, scale Scale) error {
+func runFig6(ctx context.Context, w io.Writer, scale Scale) error {
 	s := 4096
 	if scale == ScaleSmoke {
 		s = 1024
@@ -234,7 +245,7 @@ func runFig6(w io.Writer, scale Scale) error {
 
 // runPreproc measures partition+pattern pre-processing against total
 // training time.
-func runPreproc(w io.Writer, scale Scale) error {
+func runPreproc(ctx context.Context, w io.Writer, scale Scale) error {
 	nodes, epochs := 2048, 15
 	if scale == ScaleSmoke {
 		nodes, epochs = 512, 5
@@ -249,7 +260,10 @@ func runPreproc(w io.Writer, scale Scale) error {
 		tr := train.NewNodeTrainer(train.NodeConfig{
 			Method: train.TorchGT, Epochs: epochs, LR: 2e-3, FixedBeta: -1, Seed: 47,
 		}, cfg, ds)
-		res := tr.Run()
+		res, err := tr.RunCtx(ctx)
+		if err != nil {
+			return err
+		}
 		var total float64
 		for _, p := range res.Curve {
 			total += p.EpochTime.Seconds()

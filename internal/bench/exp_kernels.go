@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -42,7 +43,7 @@ func timeKernel(kr attention.Kernel, q, k, v *tensor.Mat) time.Duration {
 
 // runFig2 measures the share of iteration time spent in (flash) attention
 // at increasing S, and the simulated 3090/A100 iteration split.
-func runFig2(w io.Writer, scale Scale) error {
+func runFig2(ctx context.Context, w io.Writer, scale Scale) error {
 	sweep := []int{1024, 2048, 4096}
 	if scale == ScaleSmoke {
 		sweep = []int{256, 512}
@@ -102,7 +103,7 @@ func timeFFN(s int, shape dist.ModelShape) time.Duration {
 // runTable2 compares the per-pair backward cost of the raw topology pattern
 // against dense attention, plus the simulated GPU wall-clock at paper-scale
 // sequence lengths.
-func runTable2(w io.Writer, scale Scale) error {
+func runTable2(ctx context.Context, w io.Writer, scale Scale) error {
 	sweep := []int{1024, 2048, 4096}
 	if scale == ScaleSmoke {
 		sweep = []int{512, 1024}
@@ -141,7 +142,7 @@ func runTable2(w io.Writer, scale Scale) error {
 
 // runFig12 times the three attention kernels vs sequence length and hidden
 // dimension.
-func runFig12(w io.Writer, scale Scale) error {
+func runFig12(ctx context.Context, w io.Writer, scale Scale) error {
 	sweepS := []int{1024, 2048, 4096, 8192}
 	sweepD := []int{16, 32, 64}
 	fixedS := 4096
@@ -202,7 +203,7 @@ func runFig12(w io.Writer, scale Scale) error {
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // runFig5 prints layout statistics for the three stages of Fig. 5.
-func runFig5(w io.Writer, scale Scale) error {
+func runFig5(ctx context.Context, w io.Writer, scale Scale) error {
 	s := 4096
 	if scale == ScaleSmoke {
 		s = 1024

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,7 +20,7 @@ func init() {
 // runTable1 trains GCN/GAT/GT/Graphormer on a node task (flickr-sim) and
 // GCN-pool/GT/Graphormer on a graph regression task (zinc-sim). Expected
 // shape: transformers beat the message-passing baselines on both columns.
-func runTable1(w io.Writer, scale Scale) error {
+func runTable1(ctx context.Context, w io.Writer, scale Scale) error {
 	nodes, epochs, graphs, gEpochs := 2048, 40, 240, 15
 	if scale == ScaleSmoke {
 		nodes, epochs, graphs, gEpochs = 384, 15, 60, 6
@@ -65,7 +66,11 @@ func runTable1(w io.Writer, scale Scale) error {
 		tr := train.NewNodeTrainer(train.NodeConfig{
 			Method: train.TorchGT, Epochs: epochs, LR: 2e-3, FixedBeta: -1, Seed: 6,
 		}, mc.cfg, nodeDS)
-		nodeAcc[mc.name] = tr.Run().FinalTestAcc
+		res, err := tr.RunCtx(ctx)
+		if err != nil {
+			return err
+		}
+		nodeAcc[mc.name] = res.FinalTestAcc
 	}
 
 	// --- graph regression column (ZINC-like MAE) ---
@@ -103,7 +108,9 @@ func runTable1(w io.Writer, scale Scale) error {
 		tr := train.NewGraphTrainer(train.GraphConfig{
 			Method: train.TorchGT, Epochs: gEpochs, LR: 2e-3, BatchSize: 8, Seed: 11,
 		}, mc.cfg, zinc)
-		tr.Run()
+		if _, err := tr.RunCtx(ctx); err != nil {
+			return err
+		}
 		zincMAE[mc.name] = tr.EvalMAE()
 	}
 
@@ -126,7 +133,7 @@ func runTable1(w io.Writer, scale Scale) error {
 
 // runFig1 sweeps sequence length for Graphormer (aminer-sim) and
 // NodeFormer-lite (pokec-sim). Expected shape: accuracy increases with S.
-func runFig1(w io.Writer, scale Scale) error {
+func runFig1(ctx context.Context, w io.Writer, scale Scale) error {
 	nodes, epochs := 2048, 10
 	sweepA := []int{64, 128, 256, 512}
 	sweepB := []int{128, 256, 512, 1024}
@@ -165,7 +172,10 @@ func runFig1(w io.Writer, scale Scale) error {
 			tr := train.NewSeqTrainer(train.SeqConfig{
 				Method: method, Epochs: eps, SeqLen: s, Seed: seed + 2,
 			}, cfg, ds)
-			res := tr.Run()
+			res, err := tr.RunCtx(ctx)
+			if err != nil {
+				return err
+			}
 			tb.addRow(fmt.Sprint(s), fmt.Sprint(eps), pct(res.FinalTestAcc))
 		}
 		fmt.Fprintf(w, "\n%s / %s (equal optimiser steps):\n", ds.Name, method)

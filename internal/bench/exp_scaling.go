@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,7 +27,7 @@ func gphShape() dist.ModelShape {
 // count; (b) fixed per-GPU load (S² ∝ P). GPH-Large's shape is used (as in
 // the paper's large-model scaling runs) so the shardable compute dominates
 // the fixed per-step overhead.
-func runFig7(w io.Writer, scale Scale) error {
+func runFig7(ctx context.Context, w io.Writer, scale Scale) error {
 	pm := &dist.PerfModel{HW: dist.A100}
 	shape := dist.ModelShape{Layers: 12, Hidden: 768, Heads: 32, FFNHidden: 3072}
 	avgDeg := 20.0
@@ -57,7 +58,7 @@ func runFig7(w io.Writer, scale Scale) error {
 
 // runFig9a reports the memory-model max sequence length for TorchGT vs
 // GP-Raw on 1–8 GPUs.
-func runFig9a(w io.Writer, scale Scale) error {
+func runFig9a(ctx context.Context, w io.Writer, scale Scale) error {
 	mm := &dist.MemoryModel{HW: dist.RTX3090}
 	shape := gphShape()
 	tb := &table{header: []string{"GPUs", "gp-raw max S", "torchgt max S", "ratio"}}
@@ -72,7 +73,7 @@ func runFig9a(w io.Writer, scale Scale) error {
 }
 
 // runFig9b reports simulated throughput (samples/s) vs S on 8 GPUs.
-func runFig9b(w io.Writer, scale Scale) error {
+func runFig9b(ctx context.Context, w io.Writer, scale Scale) error {
 	pm := &dist.PerfModel{HW: dist.A100}
 	shape := gphShape()
 	avgDeg := 20.0
@@ -90,7 +91,7 @@ func runFig9b(w io.Writer, scale Scale) error {
 
 // runDist runs the real channel-based P-worker trainer and reports measured
 // communication volume against the paper's 4·S·d/P formula.
-func runDist(w io.Writer, scale Scale) error {
+func runDist(ctx context.Context, w io.Writer, scale Scale) error {
 	nodes, p, steps := 1024, 4, 3
 	if scale == ScaleSmoke {
 		nodes, steps = 256, 2

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -25,7 +26,7 @@ func init() {
 // same shape (latency flat until the knee, then queueing growth while
 // batches widen toward MaxBatch) on any machine. The paper's thesis at serve
 // time: dynamic batching keeps the attention kernels saturated with work.
-func runServe(w io.Writer, scale Scale) error {
+func runServe(ctx context.Context, w io.Writer, scale Scale) error {
 	nodes, epochs, dur := 2048, 6, 2*time.Second
 	if scale == ScaleSmoke {
 		nodes, epochs, dur = 384, 2, 300*time.Millisecond
@@ -38,7 +39,10 @@ func runServe(w io.Writer, scale Scale) error {
 	tr := train.NewNodeTrainer(train.NodeConfig{
 		Method: train.TorchGT, Epochs: epochs, LR: 2e-3, FixedBeta: -1, Seed: 73,
 	}, cfg, ds)
-	res := tr.Run()
+	res, err := tr.RunCtx(ctx)
+	if err != nil {
+		return err
+	}
 	snap, err := serve.Freeze(tr.Model)
 	if err != nil {
 		return err

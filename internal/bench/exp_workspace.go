@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -54,7 +55,7 @@ func measureStep(mk func() attention.Kernel, ws *tensor.Workspace, s, d int, ste
 // reduction from workspace pooling (workers pinned to 1 so the numbers count
 // kernel buffers, not goroutine launches), then the pool hit rate and
 // head-parallel speed of a real training loop.
-func runWorkspace(w io.Writer, scale Scale) error {
+func runWorkspace(ctx context.Context, w io.Writer, scale Scale) error {
 	s, steps := 1024, 50
 	if scale == ScaleSmoke {
 		s, steps = 256, 10
@@ -111,7 +112,10 @@ func runWorkspace(w io.Writer, scale Scale) error {
 			Method: train.TorchGT, Epochs: epochs, LR: 2e-3, FixedBeta: -1, Seed: 53,
 			Exec: &exec,
 		}, cfg, ds)
-		res := tr.Run()
+		res, err := tr.RunCtx(ctx)
+		if err != nil {
+			return err
+		}
 		st := tr.Model.Runtime().AllocStats()
 		hit := "-"
 		if st.Gets > 0 {

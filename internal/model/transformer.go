@@ -104,6 +104,18 @@ func (g *GraphTransformer) Params() []*nn.Param {
 	return ps
 }
 
+// Dropouts lists every dropout layer in deterministic order (input dropout,
+// then per block Drop1/Drop2). Training checkpoints serialise each layer's
+// RNG stream position in this order, so bitwise resume reproduces the exact
+// mask sequence an uninterrupted run would have drawn.
+func (g *GraphTransformer) Dropouts() []*nn.Dropout {
+	out := []*nn.Dropout{g.InDrop}
+	for _, b := range g.Blocks {
+		out = append(out, b.Drop1, b.Drop2)
+	}
+	return out
+}
+
 // embed builds the token sequence h⁰: projected features plus degree/PE
 // encodings, with the global token (if any) prepended at position 0. The
 // AttentionSpec's pattern must already account for the global token.

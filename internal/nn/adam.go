@@ -29,6 +29,25 @@ func NewAdam(lr float64) *Adam {
 	}
 }
 
+// StepCount reports how many optimiser steps have been applied (the bias-
+// correction time step t).
+func (a *Adam) StepCount() int { return a.t }
+
+// SetStepCount restores the bias-correction time step; used when resuming
+// from a checkpoint.
+func (a *Adam) SetStepCount(t int) { a.t = t }
+
+// Moments returns the first/second moment accumulators for p, or nil if the
+// optimiser has not stepped p yet.
+func (a *Adam) Moments(p *Param) (m, v *tensor.Mat) { return a.m[p], a.v[p] }
+
+// SetMoments installs moment accumulators for p (shapes must match p.W);
+// used when resuming from a checkpoint.
+func (a *Adam) SetMoments(p *Param, m, v *tensor.Mat) {
+	a.m[p] = m
+	a.v[p] = v
+}
+
 // Step applies one update to all params from their accumulated gradients,
 // then zeroes the gradients.
 func (a *Adam) Step(params []*Param) {

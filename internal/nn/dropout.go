@@ -11,13 +11,26 @@ import (
 type Dropout struct {
 	P    float64
 	rng  *rand.Rand
+	src  *CountedSource
 	mask []float32
 }
 
-// NewDropout constructs a dropout layer with its own RNG stream.
+// NewDropout constructs a dropout layer with its own RNG stream. The stream
+// is draw-counted so training checkpoints can serialise and restore the
+// layer's exact position in it (see CountedSource).
 func NewDropout(p float64, seed int64) *Dropout {
-	return &Dropout{P: p, rng: rand.New(rand.NewSource(seed))}
+	rng, src := NewCountedRand(seed)
+	return &Dropout{P: p, rng: rng, src: src}
 }
+
+// RNGDraws reports how many RNG draws the layer has consumed — the layer's
+// serialisable stream position.
+func (d *Dropout) RNGDraws() uint64 { return d.src.Draws() }
+
+// SeekRNG fast-forwards a freshly built layer to stream position n, so the
+// next mask it draws is bitwise identical to the one an uninterrupted run
+// would have drawn.
+func (d *Dropout) SeekRNG(n uint64) { d.src.Seek(n) }
 
 // Forward applies dropout when train is true; identity otherwise.
 func (d *Dropout) Forward(x *tensor.Mat, train bool) *tensor.Mat {

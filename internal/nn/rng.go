@@ -1,0 +1,66 @@
+package nn
+
+import "math/rand"
+
+// CountedSource wraps the standard math/rand source with a draw counter,
+// making any RNG stream checkpointable without changing its values: the
+// wrapper forwards every Int63/Uint64 call to the underlying source (so
+// rand.New(NewCountedSource(seed)) produces exactly the same stream as
+// rand.New(rand.NewSource(seed))), while recording how many draws have been
+// consumed. A stream is then serialised as (seed, draws) and restored with
+// Seek, which replays and discards that many draws — exact regardless of
+// which rand.Rand methods produced them, because every method advances the
+// source by whole draws.
+//
+// This is the substrate for bitwise training resume: dropout masks and
+// epoch shuffles are RNG-driven, so their sources must land on the identical
+// stream position after a checkpoint/restore round trip.
+type CountedSource struct {
+	seed  int64
+	src   rand.Source64
+	draws uint64
+}
+
+// NewCountedSource builds a counted source seeded like rand.NewSource(seed).
+func NewCountedSource(seed int64) *CountedSource {
+	return &CountedSource{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// NewCountedRand is shorthand for rand.New(NewCountedSource(seed)), returning
+// both the RNG and its counted source.
+func NewCountedRand(seed int64) (*rand.Rand, *CountedSource) {
+	src := NewCountedSource(seed)
+	return rand.New(src), src
+}
+
+// Int63 implements rand.Source.
+func (s *CountedSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *CountedSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw counter.
+func (s *CountedSource) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.src = rand.NewSource(seed).(rand.Source64)
+}
+
+// Draws reports how many draws have been consumed since the last (re)seed.
+func (s *CountedSource) Draws() uint64 { return s.draws }
+
+// Seek rewinds the source to its seed and discards n draws, leaving the
+// stream exactly where a fresh run would be after consuming n draws.
+func (s *CountedSource) Seek(n uint64) {
+	s.src = rand.NewSource(s.seed).(rand.Source64)
+	s.draws = n
+	for i := uint64(0); i < n; i++ {
+		s.src.Int63()
+	}
+}

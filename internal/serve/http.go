@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -24,11 +25,16 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "serve: bad node id "+strconv.Quote(raw), http.StatusBadRequest)
 			return
 		}
-		resp := s.Predict(int32(node))
+		// The request's own context drives queue cancellation: a client that
+		// disconnects while queued frees its batch slot immediately.
+		resp := s.Predict(r.Context(), int32(node))
 		if resp.Err != nil {
 			code := http.StatusBadRequest
-			if errors.Is(resp.Err, ErrClosed) {
+			switch {
+			case errors.Is(resp.Err, ErrClosed):
 				code = http.StatusServiceUnavailable
+			case errors.Is(resp.Err, context.Canceled), errors.Is(resp.Err, context.DeadlineExceeded):
+				code = http.StatusRequestTimeout
 			}
 			http.Error(w, resp.Err.Error(), code)
 			return

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -45,7 +46,7 @@ func RunLoad(s *Server, nodes []int32, rps float64, dur time.Duration) LoadPoint
 		wg.Add(1)
 		go func(node int32, arrival time.Time) {
 			defer wg.Done()
-			r := s.Predict(node)
+			r := s.Predict(context.Background(), node)
 			lat := time.Since(arrival)
 			mu.Lock()
 			defer mu.Unlock()

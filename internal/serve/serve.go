@@ -18,6 +18,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -117,6 +118,7 @@ type Response struct {
 }
 
 type request struct {
+	ctx  context.Context
 	node int32
 	resp chan Response
 	enq  time.Time
@@ -133,6 +135,7 @@ type Stats struct {
 	FlushFull     int64 // batches flushed on MaxBatch
 	FlushDeadline int64 // batches flushed on MaxDelay
 	FlushShutdown int64 // partial batches drained at Close
+	Cancelled     int64 // requests whose context expired while queued
 	AvgBatchSize  float64
 }
 
@@ -158,6 +161,7 @@ type Server struct {
 	nRequests, nBatches int64
 	nFull, nDeadline    int64
 	nShutdown, sumBatch int64
+	nCancelled          int64
 }
 
 // NewServer materialises opts.Workers replicas of the snapshot and starts
@@ -235,30 +239,53 @@ func NewServer(snap *Snapshot, ds *graph.NodeDataset, opts Options) (*Server, er
 // Options reports the resolved serving options.
 func (s *Server) Options() Options { return s.opts }
 
-// Predict classifies one node, blocking until its batch has executed.
-func (s *Server) Predict(node int32) Response {
-	return <-s.PredictAsync(node)
+// Predict classifies one node, blocking until its batch has executed or ctx
+// is done. Cancellation is honoured end to end: while the request waits in
+// the intake queue (including while blocked on a full queue) an expired ctx
+// fails it immediately with ctx's error instead of occupying a batch slot.
+func (s *Server) Predict(ctx context.Context, node int32) Response {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ch := s.PredictAsync(ctx, node)
+	select {
+	case r := <-ch:
+		return r
+	case <-ctx.Done():
+		return Response{Node: node, Err: ctx.Err()}
+	}
 }
 
 // PredictAsync enqueues one request and returns the channel its response
-// will arrive on. A full queue blocks (backpressure); invalid nodes and a
-// closed server fail immediately.
-func (s *Server) PredictAsync(node int32) <-chan Response {
+// will arrive on. A full queue blocks (backpressure) until space frees or
+// ctx is done; invalid nodes, a done ctx and a closed server fail
+// immediately. A request whose ctx expires while still queued is answered
+// with ctx's error and never enters a batch.
+func (s *Server) PredictAsync(ctx context.Context, node int32) <-chan Response {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	resp := make(chan Response, 1)
 	if node < 0 || int(node) >= s.ds.G.N {
 		resp <- Response{Node: node, Err: fmt.Errorf("serve: node %d out of range [0, %d)", node, s.ds.G.N)}
 		return resp
 	}
-	r := &request{node: node, resp: resp, enq: time.Now()}
+	r := &request{ctx: ctx, node: node, resp: resp, enq: time.Now()}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		resp <- Response{Node: node, Err: ErrClosed}
 		return resp
 	}
-	s.reqCh <- r
-	s.mu.RUnlock()
-	atomic.AddInt64(&s.nRequests, 1)
+	select {
+	case s.reqCh <- r:
+		s.mu.RUnlock()
+		atomic.AddInt64(&s.nRequests, 1)
+	case <-ctx.Done():
+		s.mu.RUnlock()
+		atomic.AddInt64(&s.nCancelled, 1)
+		resp <- Response{Node: node, Err: ctx.Err()}
+	}
 	return resp
 }
 
@@ -280,7 +307,7 @@ func (s *Server) PredictBatch(nodes []int32) []Response {
 			out[i] = Response{Node: n, Err: fmt.Errorf("serve: node %d out of range [0, %d)", n, s.ds.G.N)}
 			continue
 		}
-		reqs = append(reqs, &request{node: n, resp: make(chan Response, 1), enq: now})
+		reqs = append(reqs, &request{ctx: context.Background(), node: n, resp: make(chan Response, 1), enq: now})
 		slot = append(slot, i)
 	}
 	if len(reqs) == 0 {
@@ -326,11 +353,23 @@ func (s *Server) Stats() Stats {
 		FlushFull:     atomic.LoadInt64(&s.nFull),
 		FlushDeadline: atomic.LoadInt64(&s.nDeadline),
 		FlushShutdown: atomic.LoadInt64(&s.nShutdown),
+		Cancelled:     atomic.LoadInt64(&s.nCancelled),
 	}
 	if st.Batches > 0 {
 		st.AvgBatchSize = float64(atomic.LoadInt64(&s.sumBatch)) / float64(st.Batches)
 	}
 	return st
+}
+
+// admit filters a dequeued request: one whose context expired while queued
+// is answered with its error immediately and never reaches a batch.
+func (s *Server) admit(r *request) bool {
+	if err := r.ctx.Err(); err != nil {
+		atomic.AddInt64(&s.nCancelled, 1)
+		r.resp <- Response{Node: r.node, Err: err}
+		return false
+	}
+	return true
 }
 
 // batchLoop is the dynamic micro-batching scheduler: one goroutine that
@@ -343,6 +382,9 @@ func (s *Server) batchLoop() {
 		if !ok {
 			return
 		}
+		if !s.admit(first) {
+			continue
+		}
 		buf := []*request{first}
 		// Opportunistic drain: whatever is already queued joins the batch
 		// immediately — under saturation batches fill here, timer-free.
@@ -354,7 +396,9 @@ func (s *Server) batchLoop() {
 					s.dispatch(buf, &s.nShutdown)
 					return
 				}
-				buf = append(buf, r)
+				if s.admit(r) {
+					buf = append(buf, r)
+				}
 			default:
 				break drain
 			}
@@ -375,7 +419,9 @@ func (s *Server) batchLoop() {
 					s.dispatch(buf, &s.nShutdown)
 					return
 				}
-				buf = append(buf, r)
+				if s.admit(r) {
+					buf = append(buf, r)
+				}
 			case <-timer.C:
 				s.dispatch(buf, &s.nDeadline)
 				flushed = true

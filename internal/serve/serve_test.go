@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"math"
 	"net/http"
@@ -141,7 +142,7 @@ func TestQueuedPathFlushOnFull(t *testing.T) {
 
 	chans := make([]<-chan Response, len(nodes))
 	for i, n := range nodes {
-		chans[i] = s.PredictAsync(n)
+		chans[i] = s.PredictAsync(context.Background(), n)
 	}
 	for i, ch := range chans {
 		select {
@@ -175,8 +176,8 @@ func TestFlushOnDeadline(t *testing.T) {
 	s := mustServer(t, snap, ds, Options{
 		Workers: 1, MaxBatch: 64, MaxDelay: 20 * time.Millisecond,
 	})
-	c1 := s.PredictAsync(10)
-	c2 := s.PredictAsync(20)
+	c1 := s.PredictAsync(context.Background(), 10)
+	c2 := s.PredictAsync(context.Background(), 20)
 	for _, ch := range []<-chan Response{c1, c2} {
 		select {
 		case r := <-ch:
@@ -363,18 +364,18 @@ func TestPredictErrorsAndClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r := s.Predict(-1); r.Err == nil {
+	if r := s.Predict(context.Background(), -1); r.Err == nil {
 		t.Fatal("negative node must error")
 	}
-	if r := s.Predict(int32(ds.G.N)); r.Err == nil {
+	if r := s.Predict(context.Background(), int32(ds.G.N)); r.Err == nil {
 		t.Fatal("out-of-range node must error")
 	}
-	if r := s.Predict(0); r.Err != nil {
+	if r := s.Predict(context.Background(), 0); r.Err != nil {
 		t.Fatal(r.Err)
 	}
 	s.Close()
 	s.Close() // idempotent
-	if r := s.Predict(0); !errors.Is(r.Err, ErrClosed) {
+	if r := s.Predict(context.Background(), 0); !errors.Is(r.Err, ErrClosed) {
 		t.Fatalf("predict after close must fail with ErrClosed, got %+v", r)
 	}
 	for _, r := range s.PredictBatch([]int32{0, 1}) {
@@ -450,7 +451,7 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 			wg.Add(1)
 			go func(i int, n int32) {
 				defer wg.Done()
-				r := s.Predict(n)
+				r := s.Predict(context.Background(), n)
 				if r.Err != nil {
 					t.Errorf("node %d: %v", n, r.Err)
 					return
@@ -553,5 +554,43 @@ func TestHTTPClosedServerReturns503(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/predict?node=5", nil))
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("closed server must 503, got %d", rec.Code)
+	}
+}
+
+// TestPredictCancelledWhileQueued: a request whose context expires while it
+// waits in the intake queue is failed with the context error, never enters a
+// batch, and is counted in Stats.Cancelled.
+func TestPredictCancelledWhileQueued(t *testing.T) {
+	ds := testDataset(96, 40)
+	snap := testSnapshot(t, ds, 41)
+	// Huge batch + huge deadline: nothing flushes on its own, so queued
+	// requests sit in the scheduler until cancelled.
+	s := mustServer(t, snap, ds, Options{Workers: 1, MaxBatch: 64, MaxDelay: time.Hour})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := s.PredictAsync(ctx, 3)
+	cancel()
+	select {
+	case r := <-ch:
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("queued request must fail with context.Canceled, got %v", r.Err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled request never answered")
+	}
+
+	// An already-expired context fails fast even when the queue is idle.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if r := s.Predict(done, 5); !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("expired context must fail fast, got %v", r.Err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Cancelled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("cancellations not counted: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -1,0 +1,89 @@
+package train
+
+import "torchgt/internal/model"
+
+// Config is the single shared configuration for every training task. The
+// node-, graph-level and sequence-sampled regimes are adapters over one Loop
+// engine (see loop.go), so they share this struct: each task reads the fields
+// that apply to it and ignores the rest. Zero values pick the defaults below
+// — withDefaults is the ONLY place defaults live; the public TrainOptions
+// mapping in package torchgt passes fields through raw.
+type Config struct {
+	Method Method
+	// Epochs is the number of training epochs (default 20).
+	Epochs int
+	// LR is the peak learning rate (default 1e-3).
+	LR float64
+	// Interval is the dual-interleave period (default 8; TorchGT methods).
+	Interval int
+	// ClusterK is the cluster dimensionality k (default 8; node task,
+	// TorchGT methods).
+	ClusterK int
+	// Db is the reformation sub-block dimension (default 16; node task,
+	// TorchGT methods).
+	Db int
+	// FixedBeta pins βthre when UseFixedBeta is set. When UseFixedBeta is
+	// false, withDefaults forces FixedBeta to −1, which enables the Auto
+	// Tuner — so the zero value of Config trains with the tuner, matching
+	// the public API's default.
+	FixedBeta float64
+	// UseFixedBeta interprets FixedBeta (otherwise the Auto Tuner runs).
+	UseFixedBeta bool
+	// Warmup enables a linear-warmup + polynomial-decay LR schedule over the
+	// run when > 0 (warmup epochs); 0 keeps a constant LR.
+	Warmup int
+	// BatchSize is the graph-level optimiser batch (default 16; graph task).
+	BatchSize int
+	// SeqLen is the sampled sequence length (seq task; 0 or larger than the
+	// graph clamps to the full node count at trainer construction).
+	SeqLen int
+	// DenseBiasMaxN caps the graph size for which the O(N²) dense SPD bias
+	// is built (default 256; graph task).
+	DenseBiasMaxN int
+	// EarlyStopPatience stops the run after this many consecutive epochs
+	// without improvement of the task's stop metric (validation accuracy
+	// when the task has one, test accuracy otherwise); 0 disables.
+	EarlyStopPatience int
+	Seed              int64
+	// Exec overrides the model's execution engine (head-parallel workers +
+	// workspace pooling); nil keeps the pooled default.
+	Exec *model.ExecOptions
+}
+
+// NodeConfig, GraphConfig and SeqConfig are kept as aliases of the shared
+// Config so existing construction sites keep compiling; the per-task structs
+// they replaced had independently drifting defaults.
+type (
+	NodeConfig  = Config
+	GraphConfig = Config
+	SeqConfig   = Config
+)
+
+// withDefaults is the single source of truth for every training default.
+func (c Config) withDefaults() Config {
+	if c.Epochs <= 0 {
+		c.Epochs = 20
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Interval == 0 {
+		c.Interval = 8
+	}
+	if c.ClusterK == 0 {
+		c.ClusterK = 8
+	}
+	if c.Db == 0 {
+		c.Db = 16
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.DenseBiasMaxN == 0 {
+		c.DenseBiasMaxN = 256
+	}
+	if !c.UseFixedBeta {
+		c.FixedBeta = -1 // Auto Tuner
+	}
+	return c
+}

@@ -1,0 +1,49 @@
+package train
+
+// Event is a typed notification emitted by the Loop engine while a training
+// run is in flight. Events are delivered synchronously, in order, from the
+// training goroutine itself — a sink that blocks stalls training, so sinks
+// should be cheap (append to a slice, non-blocking channel send, log line).
+type Event interface{ event() }
+
+// EpochEvent is emitted after every completed epoch with its curve point.
+type EpochEvent struct {
+	Epoch int
+	Point Point
+}
+
+// PhaseEvent is emitted when the dual-interleaved schedule switches between
+// sparse and dense attention phases (TorchGT methods, node task).
+type PhaseEvent struct {
+	Epoch  int
+	Sparse bool // true → entering a sparse phase, false → dense
+}
+
+// BetaEvent is emitted when the Auto Tuner moves βthre to a new ladder
+// position.
+type BetaEvent struct {
+	Epoch int
+	Beta  float64
+	Index int // ladder index
+}
+
+// CheckpointEvent is emitted after an automatic (WithCheckpointEvery)
+// checkpoint write; Err is non-nil when the write failed (the run continues).
+type CheckpointEvent struct {
+	Epoch int
+	Path  string
+	Err   error
+}
+
+// EarlyStopEvent is emitted when the early-stopping policy ends the run.
+type EarlyStopEvent struct {
+	Epoch    int
+	Best     float64 // best stop-metric value seen
+	Patience int
+}
+
+func (EpochEvent) event()      {}
+func (PhaseEvent) event()      {}
+func (BetaEvent) event()       {}
+func (CheckpointEvent) event() {}
+func (EarlyStopEvent) event()  {}

@@ -1,6 +1,8 @@
 package train
 
 import (
+	"context"
+	"math/rand"
 	"time"
 
 	"torchgt/internal/attention"
@@ -12,39 +14,6 @@ import (
 	"torchgt/internal/tensor"
 )
 
-// GraphConfig configures graph-level training (classification/regression
-// over many small graphs with a global readout token).
-type GraphConfig struct {
-	Method    Method
-	Epochs    int
-	LR        float64
-	BatchSize int
-	Interval  int
-	// DenseBiasMaxN caps the graph size for which the O(N²) dense SPD bias
-	// is built (Graphormer's full bias); larger graphs fall back to no dense
-	// bias, exactly like GP-Flash must.
-	DenseBiasMaxN int
-	Seed          int64
-	// Exec overrides the model's execution engine; nil keeps the default.
-	Exec *model.ExecOptions
-}
-
-func (c GraphConfig) withDefaults() GraphConfig {
-	if c.BatchSize == 0 {
-		c.BatchSize = 16
-	}
-	if c.Interval == 0 {
-		c.Interval = 8
-	}
-	if c.DenseBiasMaxN == 0 {
-		c.DenseBiasMaxN = 256
-	}
-	if c.LR == 0 {
-		c.LR = 1e-3
-	}
-	return c
-}
-
 // graphEntry caches per-graph precomputation.
 type graphEntry struct {
 	inputs       *model.Inputs
@@ -54,13 +23,21 @@ type graphEntry struct {
 	policy       *attention.InterleavePolicy
 }
 
-// GraphTrainer trains on a GraphDataset.
+// GraphTrainer trains on a GraphDataset (classification or regression over
+// many small graphs with a global readout token). It is the "graph" Task
+// adapter: each optimiser step accumulates gradients over BatchSize graphs.
 type GraphTrainer struct {
+	taskBase
 	Cfg        GraphConfig
 	Model      *model.GraphTransformer
 	DS         *graph.GraphDataset
 	entries    []*graphEntry
 	preprocess time.Duration
+
+	rng    *rand.Rand        // epoch shuffles
+	rngSrc *nn.CountedSource // its checkpointable source
+	order  []int             // current epoch's order over TrainIdx
+	loop   *Loop
 }
 
 // NewGraphTrainer precomputes patterns, SPD tables and interleave policies
@@ -70,6 +47,7 @@ func NewGraphTrainer(cfg GraphConfig, modelCfg model.Config, ds *graph.GraphData
 	modelCfg.GlobalToken = true
 	t0 := time.Now()
 	tr := &GraphTrainer{Cfg: cfg, DS: ds}
+	tr.rng, tr.rngSrc = nn.NewCountedRand(cfg.Seed + 17)
 	rng := newRand(cfg.Seed)
 	for gi, g := range ds.Graphs {
 		e := &graphEntry{}
@@ -139,49 +117,90 @@ func (tr *GraphTrainer) lossFor(gi int, logits *tensor.Mat) (float64, *tensor.Ma
 	return nn.SoftmaxCrossEntropy(logits, []int32{tr.DS.Labels[gi]}, nil)
 }
 
-// Run trains and returns the result; TestAcc holds accuracy for
-// classification and (1 − MAE, floored at 0) is NOT used — for regression
-// the Curve's Loss is the train MSE and Result.FinalMAE is set.
-func (tr *GraphTrainer) Run() *Result {
-	opt := nn.NewAdam(tr.Cfg.LR)
-	opt.ClipNorm = 5
-	params := tr.Model.Params()
-	rng := newRand(tr.Cfg.Seed + 17)
-	var curve []Point
-	step := 0
-	for ep := 0; ep < tr.Cfg.Epochs; ep++ {
-		t0 := time.Now()
-		order := rng.Perm(len(tr.DS.TrainIdx))
-		var epLoss float64
-		var pairs int64
-		count := 0
-		for bi, oi := range order {
-			gi := tr.DS.TrainIdx[oi]
-			spec := tr.specFor(gi, step)
-			logits := tr.Model.Forward(tr.entries[gi].inputs, spec, true)
-			l, dl := tr.lossFor(gi, logits)
-			tr.Model.Backward(dl)
-			pairs += tr.Model.Pairs()
-			epLoss += l
-			count++
-			if (bi+1)%tr.Cfg.BatchSize == 0 || bi == len(order)-1 {
-				opt.Step(params)
-				tr.Model.Runtime().StepReset()
-				step++
-			}
-		}
-		dt := time.Since(t0)
-		curve = append(curve, Point{
-			Epoch: ep, Loss: epLoss / float64(count),
-			TestAcc: tr.evaluate(tr.DS.TestIdx), EpochTime: dt, Pairs: pairs,
-		})
+// Kind implements Task.
+func (tr *GraphTrainer) Kind() string { return TaskGraph }
+
+// Preprocess implements Task.
+func (tr *GraphTrainer) Preprocess() time.Duration { return tr.preprocess }
+
+func (tr *GraphTrainer) runRNG() *nn.CountedSource { return tr.rngSrc }
+
+// BeginEpoch implements Task: shuffle the training graphs.
+func (tr *GraphTrainer) BeginEpoch(int) {
+	tr.resetEpoch()
+	tr.order = tr.rng.Perm(len(tr.DS.TrainIdx))
+}
+
+// Steps implements Task: one optimiser step per BatchSize graphs (the last
+// batch may be partial).
+func (tr *GraphTrainer) Steps(int) int {
+	n := len(tr.DS.TrainIdx)
+	if n == 0 {
+		return 0
 	}
-	res := summarise(tr.Cfg.Method, curve, tr.preprocess)
+	return (n + tr.Cfg.BatchSize - 1) / tr.Cfg.BatchSize
+}
+
+// Step implements Task: forward/backward over one batch of graphs,
+// accumulating gradients for the Loop's optimiser application. globalStep is
+// the dual-interleave clock.
+func (tr *GraphTrainer) Step(_, s, globalStep int) {
+	lo := s * tr.Cfg.BatchSize
+	hi := lo + tr.Cfg.BatchSize
+	if hi > len(tr.order) {
+		hi = len(tr.order)
+	}
+	for _, oi := range tr.order[lo:hi] {
+		gi := tr.DS.TrainIdx[oi]
+		spec := tr.specFor(gi, globalStep)
+		logits := tr.Model.Forward(tr.entries[gi].inputs, spec, true)
+		l, dl := tr.lossFor(gi, logits)
+		tr.Model.Backward(dl)
+		tr.epPairs += tr.Model.Pairs()
+		tr.epLoss += l
+		tr.epTerms++
+	}
+}
+
+// EpochPoint implements Task. For regression the Curve's Loss is the train
+// MSE; use EvalMAE for the headline metric.
+func (tr *GraphTrainer) EpochPoint(ep int, dt time.Duration) Point {
+	return Point{
+		Epoch: ep, Loss: tr.epLoss / float64(tr.epTerms),
+		TestAcc: tr.evaluate(tr.DS.TestIdx), EpochTime: dt, Pairs: tr.epPairs,
+	}
+}
+
+// Finish implements Task.
+func (tr *GraphTrainer) Finish(res *Result) {
 	res.FinalTestAcc = tr.evaluate(tr.DS.TestIdx)
 	if res.FinalTestAcc > res.BestTestAcc {
 		res.BestTestAcc = res.FinalTestAcc
 	}
+}
+
+// StopMetric implements Task: graph datasets carry no validation split in
+// the curve, so early stopping tracks test accuracy (−MAE for regression).
+func (tr *GraphTrainer) StopMetric(p Point) float64 { return p.TestAcc }
+
+// Loop returns (building on first use) the engine driving this trainer.
+func (tr *GraphTrainer) Loop() *Loop {
+	if tr.loop == nil {
+		tr.loop = NewLoop(tr, tr.Model, tr.Cfg)
+	}
+	return tr.loop
+}
+
+// Run trains and returns the result.
+func (tr *GraphTrainer) Run() *Result {
+	res, _ := tr.RunCtx(context.Background())
 	return res
+}
+
+// RunCtx trains under ctx: cancellation stops at the next step boundary and
+// returns the partial result with ctx's error.
+func (tr *GraphTrainer) RunCtx(ctx context.Context) (*Result, error) {
+	return tr.Loop().Run(ctx)
 }
 
 // evaluate returns accuracy for classification or negative MAE for

@@ -1,0 +1,50 @@
+package train
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"torchgt/internal/model"
+	"torchgt/internal/nn"
+)
+
+// nullTask is a Task whose steps do nothing, isolating the Loop engine's own
+// per-epoch cost: scheduling, optimiser application, curve bookkeeping and
+// event dispatch — the layer Session adds over a hand-rolled training loop.
+type nullTask struct{ taskBase }
+
+func (t *nullTask) Kind() string              { return TaskNode }
+func (t *nullTask) Preprocess() time.Duration { return 0 }
+func (t *nullTask) runRNG() *nn.CountedSource { return nil }
+func (t *nullTask) BeginEpoch(int)            { t.resetEpoch() }
+func (t *nullTask) Steps(int) int             { return 1 }
+func (t *nullTask) Step(int, int, int)        {}
+func (t *nullTask) EpochPoint(ep int, dt time.Duration) Point {
+	return Point{Epoch: ep, EpochTime: dt}
+}
+func (t *nullTask) Finish(*Result)           {}
+func (t *nullTask) StopMetric(Point) float64 { return 0 }
+
+// BenchmarkSessionOverhead measures the per-epoch allocation cost of the
+// Loop/event layer itself (events enabled, sink attached). The CI baseline
+// pins this near zero: the Session API must stay free compared to the raw
+// training arithmetic it wraps.
+func BenchmarkSessionOverhead(b *testing.B) {
+	mcfg := model.Config{Name: "bench", Layers: 0, Hidden: 8, Heads: 1, InDim: 4, OutDim: 2}
+	m := model.NewGraphTransformer(mcfg)
+	cfg := Config{Method: GPFlash, Epochs: b.N, LR: 1e-3}.withDefaults()
+	cfg.Epochs = b.N // withDefaults floors Epochs at 20; the benchmark drives exactly b.N
+	task := &nullTask{}
+	l := NewLoop(task, m, cfg)
+	events := 0
+	l.Sink = func(Event) { events++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := l.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	if events < b.N {
+		b.Fatalf("missing epoch events: %d < %d", events, b.N)
+	}
+}

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"time"
 
 	"torchgt/internal/attention"
@@ -13,84 +14,12 @@ import (
 	"torchgt/internal/tensor"
 )
 
-// Point is one epoch of a convergence curve.
-type Point struct {
-	Epoch     int
-	Loss      float64
-	TestAcc   float64
-	ValAcc    float64
-	EpochTime time.Duration
-	Beta      float64 // βthre in effect (TorchGT only)
-	Pairs     int64   // attended pairs this epoch (compute proxy)
-}
-
-// Result summarises a training run.
-type Result struct {
-	Method         Method
-	Curve          []Point
-	FinalTestAcc   float64
-	BestTestAcc    float64
-	AvgEpochTime   time.Duration
-	PreprocessTime time.Duration
-	TotalPairs     int64
-}
-
-func summarise(method Method, curve []Point, preprocess time.Duration) *Result {
-	r := &Result{Method: method, Curve: curve, PreprocessTime: preprocess}
-	var tot time.Duration
-	for _, p := range curve {
-		tot += p.EpochTime
-		r.TotalPairs += p.Pairs
-		if p.TestAcc > r.BestTestAcc {
-			r.BestTestAcc = p.TestAcc
-		}
-	}
-	if len(curve) > 0 {
-		r.AvgEpochTime = tot / time.Duration(len(curve))
-		r.FinalTestAcc = curve[len(curve)-1].TestAcc
-	}
-	return r
-}
-
-// NodeConfig configures node-level training.
-type NodeConfig struct {
-	Method   Method
-	Epochs   int
-	LR       float64
-	Interval int // dual-interleave period (default 8)
-	ClusterK int // cluster dimensionality k (default 8)
-	Db       int // sub-block dimension (default 16)
-	// FixedBeta pins βthre (≥0) instead of the Auto Tuner; -1 enables tuning.
-	FixedBeta float64
-	// Warmup enables a linear-warmup + polynomial-decay LR schedule over the
-	// run when > 0 (warmup epochs); 0 keeps a constant LR.
-	Warmup int
-	Seed   int64
-	// Exec overrides the model's execution engine (head-parallel workers +
-	// workspace pooling); nil keeps the pooled default.
-	Exec *model.ExecOptions
-}
-
-func (c NodeConfig) withDefaults() NodeConfig {
-	if c.Interval == 0 {
-		c.Interval = 8
-	}
-	if c.ClusterK == 0 {
-		c.ClusterK = 8
-	}
-	if c.Db == 0 {
-		c.Db = 16
-	}
-	if c.LR == 0 {
-		c.LR = 1e-3
-	}
-	return c
-}
-
 // NodeTrainer trains a graph transformer for node classification on one
-// large graph (full-graph sequence).
+// large graph (full-graph sequence). It is the "node" Task adapter for the
+// shared Loop engine: one optimiser step per epoch over the full sequence.
 type NodeTrainer struct {
-	Cfg   NodeConfig
+	taskBase
+	Cfg   Config
 	Model *model.GraphTransformer
 	DS    *graph.NodeDataset // reordered copy when method is TorchGT
 
@@ -103,6 +32,10 @@ type NodeTrainer struct {
 
 	reformCache map[float64]*reformEntry
 	preprocess  time.Duration
+
+	lastLogits *tensor.Mat // training logits of the last step (epoch eval)
+	lastSparse bool        // interleave phase of the previous epoch
+	loop       *Loop
 }
 
 type reformEntry struct {
@@ -209,46 +142,92 @@ func (tr *NodeTrainer) specFor(epoch int) *model.AttentionSpec {
 	panic("train: unhandled method")
 }
 
-// Run trains for the configured number of epochs and returns the result.
-func (tr *NodeTrainer) Run() *Result {
-	opt := nn.NewAdam(tr.Cfg.LR)
-	opt.ClipNorm = 5
-	var sched nn.LRScheduler = nn.ConstantLR{Base: tr.Cfg.LR}
-	if tr.Cfg.Warmup > 0 {
-		sched = nn.WarmupPoly{Peak: tr.Cfg.LR, Warmup: tr.Cfg.Warmup, Total: tr.Cfg.Epochs, Power: 1}
-	}
-	params := tr.Model.Params()
-	var curve []Point
-	for ep := 0; ep < tr.Cfg.Epochs; ep++ {
-		spec := tr.specFor(ep)
-		t0 := time.Now()
-		logits := tr.Model.Forward(tr.inputs, spec, true)
-		loss, dl := nn.SoftmaxCrossEntropy(logits, tr.DS.Y, tr.DS.TrainMask)
-		tr.Model.Backward(dl)
-		pairs := tr.Model.Pairs()
-		nn.StepWith(opt, sched, ep, params)
-		// step boundary: every gradient is consumed, recycle the workspaces
-		tr.Model.Runtime().StepReset()
-		dt := time.Since(t0)
+// Kind implements Task.
+func (tr *NodeTrainer) Kind() string { return TaskNode }
 
-		testAcc := nn.Accuracy(logits, tr.DS.Y, tr.DS.TestMask)
-		valAcc := nn.Accuracy(logits, tr.DS.Y, tr.DS.ValMask)
-		beta := tr.Cfg.FixedBeta
-		if tr.tuner != nil {
-			beta = tr.tuner.Observe(loss, dt.Seconds())
+// Preprocess implements Task.
+func (tr *NodeTrainer) Preprocess() time.Duration { return tr.preprocess }
+
+func (tr *NodeTrainer) runRNG() *nn.CountedSource { return nil }
+
+// BeginEpoch implements Task, emitting interleave phase-switch events for
+// the TorchGT schedule.
+func (tr *NodeTrainer) BeginEpoch(ep int) {
+	tr.resetEpoch()
+	if tr.policy != nil {
+		sparse := tr.policy.UseSparse(ep)
+		if ep == 0 || sparse != tr.lastSparse {
+			tr.fire(PhaseEvent{Epoch: ep, Sparse: sparse})
 		}
-		curve = append(curve, Point{
-			Epoch: ep, Loss: loss, TestAcc: testAcc, ValAcc: valAcc,
-			EpochTime: dt, Beta: beta, Pairs: pairs,
-		})
+		tr.lastSparse = sparse
 	}
-	res := summarise(tr.Cfg.Method, curve, tr.preprocess)
-	// clean evaluation pass (no dropout) for the headline accuracy
+}
+
+// Steps implements Task: the node regime applies one full-sequence optimiser
+// step per epoch.
+func (tr *NodeTrainer) Steps(int) int { return 1 }
+
+// Step implements Task: one full-graph forward/backward.
+func (tr *NodeTrainer) Step(ep, _, _ int) {
+	spec := tr.specFor(ep)
+	logits := tr.Model.Forward(tr.inputs, spec, true)
+	loss, dl := nn.SoftmaxCrossEntropy(logits, tr.DS.Y, tr.DS.TrainMask)
+	tr.Model.Backward(dl)
+	tr.epPairs += tr.Model.Pairs()
+	tr.epLoss += loss
+	tr.epTerms++
+	tr.lastLogits = logits
+}
+
+// EpochPoint implements Task: accuracy from the training-pass logits plus
+// one Auto Tuner observation.
+func (tr *NodeTrainer) EpochPoint(ep int, dt time.Duration) Point {
+	testAcc := nn.Accuracy(tr.lastLogits, tr.DS.Y, tr.DS.TestMask)
+	valAcc := nn.Accuracy(tr.lastLogits, tr.DS.Y, tr.DS.ValMask)
+	beta := tr.Cfg.FixedBeta
+	if tr.tuner != nil {
+		prevIdx := tr.tuner.Index()
+		beta = tr.tuner.Observe(tr.epLoss, dt.Seconds())
+		if tr.tuner.Index() != prevIdx {
+			tr.fire(BetaEvent{Epoch: ep, Beta: beta, Index: tr.tuner.Index()})
+		}
+	}
+	return Point{
+		Epoch: ep, Loss: tr.epLoss, TestAcc: testAcc, ValAcc: valAcc,
+		EpochTime: dt, Beta: beta, Pairs: tr.epPairs,
+	}
+}
+
+// Finish implements Task: a clean evaluation pass (no dropout) for the
+// headline accuracy.
+func (tr *NodeTrainer) Finish(res *Result) {
 	spec := tr.specFor(tr.Cfg.Epochs)
 	logits := tr.Model.Forward(tr.inputs, spec, false)
 	res.FinalTestAcc = nn.Accuracy(logits, tr.DS.Y, tr.DS.TestMask)
 	if res.FinalTestAcc > res.BestTestAcc {
 		res.BestTestAcc = res.FinalTestAcc
 	}
+}
+
+// StopMetric implements Task: the node task has a validation split.
+func (tr *NodeTrainer) StopMetric(p Point) float64 { return p.ValAcc }
+
+// Loop returns (building on first use) the engine driving this trainer.
+func (tr *NodeTrainer) Loop() *Loop {
+	if tr.loop == nil {
+		tr.loop = NewLoop(tr, tr.Model, tr.Cfg)
+	}
+	return tr.loop
+}
+
+// Run trains for the configured number of epochs and returns the result.
+func (tr *NodeTrainer) Run() *Result {
+	res, _ := tr.RunCtx(context.Background())
 	return res
+}
+
+// RunCtx trains under ctx: cancellation stops at the next step boundary and
+// returns the partial result with ctx's error.
+func (tr *NodeTrainer) RunCtx(ctx context.Context) (*Result, error) {
+	return tr.Loop().Run(ctx)
 }

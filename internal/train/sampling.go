@@ -28,6 +28,9 @@ type EgoConfig struct {
 }
 
 func (c EgoConfig) withDefaults() EgoConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 20
+	}
 	if c.Hops == 0 {
 		c.Hops = 2
 	}

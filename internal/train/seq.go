@@ -1,6 +1,8 @@
 package train
 
 import (
+	"context"
+	"math/rand"
 	"time"
 
 	"torchgt/internal/encoding"
@@ -11,36 +13,30 @@ import (
 	"torchgt/internal/tensor"
 )
 
-// SeqConfig configures mini-batched node-level training where each step
-// builds a sequence from SeqLen sampled nodes — the regime of Fig. 1, where
-// longer sequences expose more context and improve accuracy.
-type SeqConfig struct {
-	Method Method
-	Epochs int
-	LR     float64
-	SeqLen int
-	Seed   int64
-	// Exec overrides the model's execution engine; nil keeps the default.
-	Exec *model.ExecOptions
-}
-
 // SeqTrainer samples node subsets per step and trains on their induced
-// subgraphs.
+// subgraphs — the regime of Fig. 1, where each step builds a sequence from
+// SeqLen sampled nodes and longer sequences expose more context. It is the
+// "seq" Task adapter: one optimiser step per sampled sequence.
 type SeqTrainer struct {
+	taskBase
 	Cfg   SeqConfig
 	Model *model.GraphTransformer
 	DS    *graph.NodeDataset
+
+	rng    *rand.Rand        // epoch shuffles + sampled evaluation
+	rngSrc *nn.CountedSource // its checkpointable source
+	perm   []int             // current epoch's node permutation
+	loop   *Loop
 }
 
 // NewSeqTrainer builds the trainer.
 func NewSeqTrainer(cfg SeqConfig, modelCfg model.Config, ds *graph.NodeDataset) *SeqTrainer {
-	if cfg.LR == 0 {
-		cfg.LR = 1e-3
-	}
+	cfg = cfg.withDefaults()
 	if cfg.SeqLen <= 0 || cfg.SeqLen > ds.G.N {
 		cfg.SeqLen = ds.G.N
 	}
 	tr := &SeqTrainer{Cfg: cfg, Model: model.NewGraphTransformer(modelCfg), DS: ds}
+	tr.rng, tr.rngSrc = nn.NewCountedRand(cfg.Seed)
 	if cfg.Exec != nil {
 		tr.Model.SetRuntime(model.NewRuntime(*cfg.Exec))
 	}
@@ -76,52 +72,86 @@ func (tr *SeqTrainer) batch(nodes []int32) (*model.Inputs, *model.AttentionSpec,
 	return in, spec, y, trainMask, testMask
 }
 
-// Run trains with sampled sequences and returns the result; test accuracy is
-// estimated on sampled test batches of the same sequence length.
-func (tr *SeqTrainer) Run() *Result {
-	opt := nn.NewAdam(tr.Cfg.LR)
-	opt.ClipNorm = 5
-	params := tr.Model.Params()
-	rng := newRand(tr.Cfg.Seed)
+// Kind implements Task.
+func (tr *SeqTrainer) Kind() string { return TaskSeq }
+
+// Preprocess implements Task: sequence sampling needs no preprocessing.
+func (tr *SeqTrainer) Preprocess() time.Duration { return 0 }
+
+func (tr *SeqTrainer) runRNG() *nn.CountedSource { return tr.rngSrc }
+
+// BeginEpoch implements Task: draw the epoch's node permutation.
+func (tr *SeqTrainer) BeginEpoch(int) {
+	tr.resetEpoch()
+	tr.perm = tr.rng.Perm(tr.DS.G.N)
+}
+
+// Steps implements Task: one optimiser step per sampled sequence.
+func (tr *SeqTrainer) Steps(int) int {
+	return (tr.DS.G.N + tr.Cfg.SeqLen - 1) / tr.Cfg.SeqLen
+}
+
+// Step implements Task: build the s-th sampled sequence and run one
+// forward/backward over its induced subgraph.
+func (tr *SeqTrainer) Step(_, s, _ int) {
 	n := tr.DS.G.N
-	stepsPerEpoch := (n + tr.Cfg.SeqLen - 1) / tr.Cfg.SeqLen
-	var curve []Point
-	for ep := 0; ep < tr.Cfg.Epochs; ep++ {
-		t0 := time.Now()
-		perm := rng.Perm(n)
-		var epLoss float64
-		var pairs int64
-		for s := 0; s < stepsPerEpoch; s++ {
-			lo := s * tr.Cfg.SeqLen
-			hi := lo + tr.Cfg.SeqLen
-			if hi > n {
-				hi = n
-			}
-			nodes := make([]int32, hi-lo)
-			for i := lo; i < hi; i++ {
-				nodes[i-lo] = int32(perm[i])
-			}
-			in, spec, y, trainMask, _ := tr.batch(nodes)
-			logits := tr.Model.Forward(in, spec, true)
-			l, dl := nn.SoftmaxCrossEntropy(logits, y, trainMask)
-			tr.Model.Backward(dl)
-			pairs += tr.Model.Pairs()
-			opt.Step(params)
-			tr.Model.Runtime().StepReset()
-			epLoss += l
-		}
-		dt := time.Since(t0)
-		curve = append(curve, Point{
-			Epoch: ep, Loss: epLoss / float64(stepsPerEpoch),
-			TestAcc: tr.evalSampled(rng, 3), EpochTime: dt, Pairs: pairs,
-		})
+	lo := s * tr.Cfg.SeqLen
+	hi := lo + tr.Cfg.SeqLen
+	if hi > n {
+		hi = n
 	}
-	res := summarise(tr.Cfg.Method, curve, 0)
-	res.FinalTestAcc = tr.evalSampled(rng, 8)
+	nodes := make([]int32, hi-lo)
+	for i := lo; i < hi; i++ {
+		nodes[i-lo] = int32(tr.perm[i])
+	}
+	in, spec, y, trainMask, _ := tr.batch(nodes)
+	logits := tr.Model.Forward(in, spec, true)
+	l, dl := nn.SoftmaxCrossEntropy(logits, y, trainMask)
+	tr.Model.Backward(dl)
+	tr.epPairs += tr.Model.Pairs()
+	tr.epLoss += l
+	tr.epTerms++
+}
+
+// EpochPoint implements Task: test accuracy is estimated on sampled test
+// batches of the same sequence length.
+func (tr *SeqTrainer) EpochPoint(ep int, dt time.Duration) Point {
+	return Point{
+		Epoch: ep, Loss: tr.epLoss / float64(tr.epTerms),
+		TestAcc: tr.evalSampled(tr.rng, 3), EpochTime: dt, Pairs: tr.epPairs,
+	}
+}
+
+// Finish implements Task: a wider sampled evaluation for the headline
+// accuracy.
+func (tr *SeqTrainer) Finish(res *Result) {
+	res.FinalTestAcc = tr.evalSampled(tr.rng, 8)
 	if res.FinalTestAcc > res.BestTestAcc {
 		res.BestTestAcc = res.FinalTestAcc
 	}
+}
+
+// StopMetric implements Task: sampled evaluation has no validation split.
+func (tr *SeqTrainer) StopMetric(p Point) float64 { return p.TestAcc }
+
+// Loop returns (building on first use) the engine driving this trainer.
+func (tr *SeqTrainer) Loop() *Loop {
+	if tr.loop == nil {
+		tr.loop = NewLoop(tr, tr.Model, tr.Cfg)
+	}
+	return tr.loop
+}
+
+// Run trains with sampled sequences and returns the result.
+func (tr *SeqTrainer) Run() *Result {
+	res, _ := tr.RunCtx(context.Background())
 	return res
+}
+
+// RunCtx trains under ctx: cancellation stops at the next step boundary and
+// returns the partial result with ctx's error.
+func (tr *SeqTrainer) RunCtx(ctx context.Context) (*Result, error) {
+	return tr.Loop().Run(ctx)
 }
 
 // evalSampled estimates test accuracy over `batches` sampled sequences.

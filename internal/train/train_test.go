@@ -204,7 +204,8 @@ func TestNodeTrainerFixedBetaVariants(t *testing.T) {
 	cfg.Heads = 2
 	for _, beta := range []float64{0, 0.05, 1} {
 		tr := NewNodeTrainer(NodeConfig{
-			Method: TorchGT, Epochs: 3, ClusterK: 4, Db: 4, FixedBeta: beta, Seed: 22,
+			Method: TorchGT, Epochs: 3, ClusterK: 4, Db: 4,
+			FixedBeta: beta, UseFixedBeta: true, Seed: 22,
 		}, cfg, ds)
 		res := tr.Run()
 		if len(res.Curve) != 3 {

@@ -63,3 +63,33 @@ func (a *AutoTuner) Observe(loss, epochSeconds float64) float64 {
 
 // Index exposes the current ladder position (for tests/telemetry).
 func (a *AutoTuner) Index() int { return a.idx }
+
+// TunerState is the Auto Tuner's serialisable state (the β ladder itself is
+// rebuilt from the graph's sparsity at trainer construction).
+type TunerState struct {
+	Index   int       `json:"index"`
+	Started bool      `json:"started"`
+	F       float64   `json:"f"`
+	LDRHist []float64 `json:"ldr_hist"`
+}
+
+// State snapshots the tuner for a training checkpoint.
+func (a *AutoTuner) State() TunerState {
+	hist := make([]float64, len(a.ldrHist))
+	copy(hist, a.ldrHist)
+	return TunerState{Index: a.idx, Started: a.started, F: a.f, LDRHist: hist}
+}
+
+// Restore rewinds the tuner to a snapshotted state.
+func (a *AutoTuner) Restore(st TunerState) {
+	a.idx = st.Index
+	if a.idx < 0 {
+		a.idx = 0
+	}
+	if a.idx >= len(a.Set) {
+		a.idx = len(a.Set) - 1
+	}
+	a.started = st.Started
+	a.f = st.F
+	a.ldrHist = append([]float64(nil), st.LDRHist...)
+}

@@ -31,13 +31,15 @@ func LoadNodeDatasetFile(path string) (*NodeDataset, error) {
 // TrainNodeEgo trains node classification with ego-graph sampling (the
 // Gophormer/NAGphormer baseline family the paper contrasts with
 // long-sequence training in §II-C). opts.SeqLen bounds the ego-graph size.
+//
+// Frozen compatibility wrapper (defaults resolve in train.EgoConfig).
 func TrainNodeEgo(cfg ModelConfig, ds *NodeDataset, opts TrainOptions) (*Result, error) {
 	maxSize := opts.SeqLen
 	if maxSize <= 0 {
 		maxSize = 32
 	}
 	tr := train.NewEgoTrainer(train.EgoConfig{
-		Epochs: opts.epochs(), LR: opts.LR, MaxSize: maxSize,
+		Epochs: opts.Epochs, LR: opts.LR, MaxSize: maxSize,
 		Batch: opts.BatchSize, Seed: opts.Seed,
 	}, cfg, ds)
 	return tr.Run(), nil

@@ -1,11 +1,10 @@
 package torchgt
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"torchgt/internal/serve"
-	"torchgt/internal/train"
 )
 
 // Serving: the batched inference subsystem. A trained model is frozen into a
@@ -15,6 +14,9 @@ import (
 // workers. See DESIGN.md ("Serving") for the scheduler's trade-offs.
 type (
 	// Server is the batched inference engine over one dataset's graph.
+	// Predict takes a context.Context: cancellation is honoured while the
+	// request is queued (it frees its batch slot and fails with ctx's
+	// error), mirroring the Session training lifecycle.
 	Server = serve.Server
 	// ServeOptions tunes the engine: worker/replica count, batch size,
 	// flush deadline, attention kernel and ego-context shape.
@@ -70,13 +72,19 @@ func RunServeLoad(s *Server, nodes []int32, rps float64, dur time.Duration) Serv
 // TrainNodeSnapshot trains like TrainNode and additionally freezes the
 // trained weights into a serving snapshot — the one-call path from data to a
 // servable model.
+//
+// Frozen compatibility wrapper over Session — equivalent to running a
+// NodeTask session and freezing s.Model().
 func TrainNodeSnapshot(method Method, cfg ModelConfig, ds *NodeDataset, opts TrainOptions) (*Result, *Snapshot, error) {
-	if ds == nil {
-		return nil, nil, fmt.Errorf("torchgt: nil dataset")
+	s, err := opts.session(method, cfg, NodeTask(ds))
+	if err != nil {
+		return nil, nil, err
 	}
-	tr := train.NewNodeTrainer(opts.nodeConfig(method), cfg, ds)
-	res := tr.Run()
-	snap, err := serve.Freeze(tr.Model)
+	res, err := s.Run(context.Background())
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := serve.Freeze(s.Model())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package torchgt
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -64,7 +65,7 @@ func TestPublicServing(t *testing.T) {
 			}
 		}
 	}
-	if r := srv.Predict(batch[0]); r.Err != nil {
+	if r := srv.Predict(context.Background(), batch[0]); r.Err != nil {
 		t.Fatal(r.Err)
 	}
 	if st := srv.Stats(); st.Requests == 0 || st.Batches == 0 {

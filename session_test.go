@@ -1,0 +1,259 @@
+package torchgt
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func sessionNodeDS(t *testing.T, n int, seed int64) *NodeDataset {
+	t.Helper()
+	ds, err := LoadNodeDataset("arxiv-sim", n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func weightsEqual(t *testing.T, a, b *GraphTransformer) {
+	t.Helper()
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		t.Fatalf("param count %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		for j := range pa[i].W.Data {
+			if math.Float32bits(pa[i].W.Data[j]) != math.Float32bits(pb[i].W.Data[j]) {
+				t.Fatalf("param %q diverges at %d", pa[i].Name, j)
+			}
+		}
+	}
+}
+
+// TestSessionResumePublic drives the full public lifecycle for all three
+// tasks: run with periodic checkpoints, resume the mid-run checkpoint in a
+// fresh session, and require bitwise-identical weights and curve.
+func TestSessionResumePublic(t *testing.T) {
+	nds := sessionNodeDS(t, 192, 71)
+	gds, err := LoadGraphDataset("zinc-sim", 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gds.Graphs = gds.Graphs[:40]
+	gds.Feats = gds.Feats[:40]
+	gds.Targets = gds.Targets[:40]
+	gds.TrainIdx = filterIdx(gds.TrainIdx, 40)
+	gds.ValIdx = filterIdx(gds.ValIdx, 40)
+	gds.TestIdx = filterIdx(gds.TestIdx, 40)
+
+	nodeCfg := GraphormerSlim(nds.X.Cols, nds.NumClasses, 73)
+	nodeCfg.Layers = 1
+	graphCfg := GraphormerSlim(gds.FeatDim, 1, 74)
+	graphCfg.Layers = 1
+
+	cases := []struct {
+		name string
+		cfg  ModelConfig
+		task TaskSpec
+		opts []SessionOption
+	}{
+		{"node", nodeCfg, NodeTask(nds), nil},
+		{"graph", graphCfg, GraphLevelTask(gds), []SessionOption{WithBatchSize(8)}},
+		{"seq", nodeCfg, NodeSeqTask(nds), []SessionOption{WithSeqLen(64)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := append([]SessionOption{
+				WithEpochs(5), WithLR(2e-3), WithSeed(75),
+				WithCheckpointEvery(2, dir),
+			}, tc.opts...)
+			full, err := NewSession(MethodTorchGT, tc.cfg, tc.task, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullRes, err := full.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fullRes.Curve) != 5 {
+				t.Fatalf("full run has %d epochs", len(fullRes.Curve))
+			}
+
+			resumed, err := ResumeSession(filepath.Join(dir, "epoch-00002.ckpt"), tc.task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Epoch() != 2 {
+				t.Fatalf("resumed at epoch %d", resumed.Epoch())
+			}
+			resRes, err := resumed.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			weightsEqual(t, full.Model(), resumed.Model())
+			for i := range fullRes.Curve {
+				a, b := fullRes.Curve[i], resRes.Curve[i]
+				a.EpochTime, b.EpochTime = 0, 0
+				if a != b {
+					t.Fatalf("curve[%d]: %+v vs %+v", i, fullRes.Curve[i], resRes.Curve[i])
+				}
+			}
+			if fullRes.FinalTestAcc != resRes.FinalTestAcc {
+				t.Fatalf("final acc %v vs %v", fullRes.FinalTestAcc, resRes.FinalTestAcc)
+			}
+		})
+	}
+}
+
+// TestSessionCancellation: Run(ctx) returns the partial result with ctx's
+// error within one step of cancellation, leaks no goroutines, and the same
+// session continues to the bitwise-identical end state afterwards.
+func TestSessionCancellation(t *testing.T) {
+	ds := sessionNodeDS(t, 192, 81)
+	cfg := GraphormerSlim(ds.X.Cols, ds.NumClasses, 82)
+	cfg.Layers = 1
+
+	mk := func() *Session {
+		s, err := NewSession(MethodGPSparse, cfg, NodeTask(ds),
+			WithEpochs(6), WithLR(2e-3), WithSeed(83))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	straight := mk()
+	wantRes, err := straight.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelledAt := -1
+	sess, err := NewSession(MethodGPSparse, cfg, NodeTask(ds),
+		WithEpochs(6), WithLR(2e-3), WithSeed(83),
+		WithEventSink(func(e Event) {
+			if ep, ok := e.(EpochEvent); ok && ep.Epoch == 2 {
+				cancelledAt = ep.Epoch
+				cancel()
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// cancelled from the epoch-2 event → at most one more step may have run,
+	// and the node task has one step per epoch, so exactly 3 epochs exist
+	if cancelledAt != 2 || len(res.Curve) != 3 {
+		t.Fatalf("partial curve has %d epochs (cancelled at %d)", len(res.Curve), cancelledAt)
+	}
+	// continuing the cancelled session completes the run identically
+	gotRes, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	weightsEqual(t, straight.Model(), sess.Model())
+	if wantRes.FinalTestAcc != gotRes.FinalTestAcc || len(gotRes.Curve) != len(wantRes.Curve) {
+		t.Fatalf("continuation diverged: %v vs %v", gotRes.FinalTestAcc, wantRes.FinalTestAcc)
+	}
+
+	// the engine is synchronous: no goroutines may outlive Run
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, g)
+	}
+}
+
+// TestSessionEvents: the event stream carries epoch metrics in order, and
+// the channel sink drops (rather than blocks) when unbuffered consumers lag.
+func TestSessionEvents(t *testing.T) {
+	ds := sessionNodeDS(t, 128, 91)
+	cfg := GraphormerSlim(ds.X.Cols, ds.NumClasses, 92)
+	cfg.Layers = 1
+	ch := make(chan Event, 64)
+	s, err := NewSession(MethodTorchGT, cfg, NodeTask(ds),
+		WithEpochs(4), WithSeed(93), WithEventChannel(ch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(ch)
+	var epochs []int
+	for e := range ch {
+		if ep, ok := e.(EpochEvent); ok {
+			epochs = append(epochs, ep.Epoch)
+		}
+	}
+	if len(epochs) != 4 {
+		t.Fatalf("want 4 epoch events, got %d", len(epochs))
+	}
+	for i, ep := range epochs {
+		if ep != i {
+			t.Fatalf("events out of order: %v", epochs)
+		}
+	}
+}
+
+// TestSessionValidation: descriptive errors for nil datasets, empty specs
+// and model/dataset mismatches — at construction and at resume.
+func TestSessionValidation(t *testing.T) {
+	ds := sessionNodeDS(t, 128, 95)
+	good := GraphormerSlim(ds.X.Cols, ds.NumClasses, 96)
+	good.Layers = 1
+
+	if _, err := NewSession(MethodTorchGT, good, NodeTask(nil)); err == nil {
+		t.Fatal("nil dataset must fail")
+	}
+	if _, err := NewSession(MethodTorchGT, good, TaskSpec{}); err == nil {
+		t.Fatal("empty task spec must fail")
+	}
+	bad := good
+	bad.InDim += 3
+	if _, err := NewSession(MethodTorchGT, bad, NodeTask(ds)); err == nil {
+		t.Fatal("feature-dim mismatch must fail")
+	}
+
+	// write a checkpoint, then resume against the wrong task kind and a
+	// mismatched dataset
+	dir := t.TempDir()
+	s, err := NewSession(MethodGPFlash, good, NodeTask(ds), WithEpochs(2), WithSeed(97))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "s.ckpt")
+	if err := s.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeSession(path, NodeSeqTask(ds)); err == nil {
+		t.Fatal("task-kind mismatch must fail")
+	}
+	other := sessionNodeDS(t, 128, 98) // same shape, fine
+	if _, err := ResumeSession(path, NodeTask(other)); err != nil {
+		t.Fatalf("compatible dataset must resume: %v", err)
+	}
+	smaller, err := LoadNodeDataset("flickr-sim", 128, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smaller.X.Cols != ds.X.Cols {
+		if _, err := ResumeSession(path, NodeTask(smaller)); err == nil {
+			t.Fatal("mismatched dataset must fail to resume")
+		}
+	}
+}

@@ -6,15 +6,21 @@
 // paper's methods (GP-Raw, GP-Flash, GP-Sparse, TorchGT), and the experiment
 // harness that regenerates every table and figure of the paper's evaluation.
 //
-// Quick start:
+// Quick start (Session API — cancellable, observable, resumable):
 //
 //	ds, _ := torchgt.LoadNodeDataset("arxiv-sim", 2048, 1)
 //	cfg := torchgt.GraphormerSlim(ds.X.Cols, ds.NumClasses, 1)
-//	res, _ := torchgt.TrainNode(torchgt.MethodTorchGT, cfg, ds, torchgt.TrainOptions{Epochs: 20})
+//	s, _ := torchgt.NewSession(torchgt.MethodTorchGT, cfg, torchgt.NodeTask(ds),
+//		torchgt.WithEpochs(20))
+//	res, _ := s.Run(context.Background())
 //	fmt.Println(res.FinalTestAcc)
+//
+// The one-call wrappers (TrainNode, TrainGraphLevel, TrainNodeSeq) remain as
+// frozen compatibility shims over Session.
 package torchgt
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -117,6 +123,11 @@ var (
 )
 
 // TrainOptions tunes a training run; zero values pick sensible defaults.
+// Defaults are resolved in one place (the shared train.Config), so this
+// struct passes fields through raw.
+//
+// TrainOptions belongs to the frozen compatibility surface; new code should
+// use NewSession with functional options instead.
 type TrainOptions struct {
 	Epochs    int
 	LR        float64
@@ -124,7 +135,7 @@ type TrainOptions struct {
 	Interval  int     // dual-interleave period (TorchGT)
 	ClusterK  int     // cluster dimensionality k (TorchGT)
 	Db        int     // sub-block size (TorchGT)
-	FixedBeta float64 // pin βthre; <0 (default via UseAutoTuner) enables the Auto Tuner
+	FixedBeta float64 // pin βthre (requires UseFixedBeta)
 	// UseFixedBeta interprets FixedBeta (otherwise the Auto Tuner runs).
 	UseFixedBeta bool
 	BatchSize    int // graph-level batch
@@ -134,71 +145,62 @@ type TrainOptions struct {
 	Exec *ExecOptions
 }
 
-func (o TrainOptions) epochs() int {
-	if o.Epochs <= 0 {
-		return 20
-	}
-	return o.Epochs
-}
-
-func (o TrainOptions) beta() float64 {
-	if o.UseFixedBeta {
-		return o.FixedBeta
-	}
-	return -1
-}
-
-// nodeConfig is the single TrainOptions→train.NodeConfig mapping, shared by
-// TrainNode and TrainNodeSnapshot so the two paths cannot drift.
-func (o TrainOptions) nodeConfig(method Method) train.NodeConfig {
-	return train.NodeConfig{
-		Method: method, Epochs: o.epochs(), LR: o.LR,
+// config is the single TrainOptions→train.Config mapping shared by every
+// compatibility wrapper, so the paths cannot drift.
+func (o TrainOptions) config(method Method) train.Config {
+	return train.Config{
+		Method: method, Epochs: o.Epochs, LR: o.LR, Seed: o.Seed,
 		Interval: o.Interval, ClusterK: o.ClusterK, Db: o.Db,
-		FixedBeta: o.beta(), Seed: o.Seed, Exec: o.Exec,
+		FixedBeta: o.FixedBeta, UseFixedBeta: o.UseFixedBeta,
+		BatchSize: o.BatchSize, SeqLen: o.SeqLen, Exec: o.Exec,
 	}
+}
+
+// session builds the Session behind a compatibility wrapper.
+func (o TrainOptions) session(method Method, cfg ModelConfig, task TaskSpec) (*Session, error) {
+	return NewSession(method, cfg, task, withConfig(o.config(method)))
 }
 
 // TrainNode trains a graph transformer for node classification with the
 // given method over the full graph sequence.
+//
+// Frozen compatibility wrapper over Session — equivalent to
+// NewSession(method, cfg, NodeTask(ds), …).Run(context.Background()).
 func TrainNode(method Method, cfg ModelConfig, ds *NodeDataset, opts TrainOptions) (*Result, error) {
-	if ds == nil {
-		return nil, fmt.Errorf("torchgt: nil dataset")
+	s, err := opts.session(method, cfg, NodeTask(ds))
+	if err != nil {
+		return nil, err
 	}
-	tr := train.NewNodeTrainer(opts.nodeConfig(method), cfg, ds)
-	return tr.Run(), nil
+	return s.Run(context.Background())
 }
 
 // TrainGraphLevel trains on a graph-level dataset (classification or
 // regression). For regression, Result accuracies hold −MAE; use the returned
 // MAE for the headline metric.
+//
+// Frozen compatibility wrapper over Session (GraphLevelTask).
 func TrainGraphLevel(method Method, cfg ModelConfig, ds *GraphDataset, opts TrainOptions) (*Result, float64, error) {
-	if ds == nil {
-		return nil, 0, fmt.Errorf("torchgt: nil dataset")
+	s, err := opts.session(method, cfg, GraphLevelTask(ds))
+	if err != nil {
+		return nil, 0, err
 	}
-	tr := train.NewGraphTrainer(train.GraphConfig{
-		Method: method, Epochs: opts.epochs(), LR: opts.LR,
-		BatchSize: opts.BatchSize, Interval: opts.Interval, Seed: opts.Seed,
-		Exec: opts.Exec,
-	}, cfg, ds)
-	res := tr.Run()
-	mae := 0.0
-	if ds.Task == graph.GraphRegression {
-		mae = tr.EvalMAE()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		return nil, 0, err
 	}
-	return res, mae, nil
+	return res, s.EvalMAE(), nil
 }
 
 // TrainNodeSeq trains node classification with mini-batched sequences of
 // opts.SeqLen sampled nodes per step (the Fig. 1 regime).
+//
+// Frozen compatibility wrapper over Session (NodeSeqTask).
 func TrainNodeSeq(method Method, cfg ModelConfig, ds *NodeDataset, opts TrainOptions) (*Result, error) {
-	if ds == nil {
-		return nil, fmt.Errorf("torchgt: nil dataset")
+	s, err := opts.session(method, cfg, NodeSeqTask(ds))
+	if err != nil {
+		return nil, err
 	}
-	tr := train.NewSeqTrainer(train.SeqConfig{
-		Method: method, Epochs: opts.epochs(), LR: opts.LR,
-		SeqLen: opts.SeqLen, Seed: opts.Seed, Exec: opts.Exec,
-	}, cfg, ds)
-	return tr.Run(), nil
+	return s.Run(context.Background())
 }
 
 // DistTrainer exposes the channel-based P-worker runtime implementing
@@ -226,6 +228,13 @@ func ExperimentIDs() []string { return bench.IDs() }
 // RunExperiment regenerates one paper table/figure, writing its report to w.
 // full=false runs a fast smoke-scale variant.
 func RunExperiment(id string, w io.Writer, full bool) error {
+	return RunExperimentContext(context.Background(), id, w, full)
+}
+
+// RunExperimentContext is RunExperiment under a context: experiments train
+// through the Session engine, so cancellation stops at the next
+// optimiser-step boundary.
+func RunExperimentContext(ctx context.Context, id string, w io.Writer, full bool) error {
 	e, ok := bench.Get(id)
 	if !ok {
 		return fmt.Errorf("torchgt: unknown experiment %q (have %v)", id, bench.IDs())
@@ -234,14 +243,19 @@ func RunExperiment(id string, w io.Writer, full bool) error {
 	if full {
 		scale = bench.ScaleFull
 	}
-	return e.Run(w, scale)
+	return e.Run(ctx, w, scale)
 }
 
 // RunAllExperiments regenerates every registered table and figure.
 func RunAllExperiments(w io.Writer, full bool) error {
+	return RunAllExperimentsContext(context.Background(), w, full)
+}
+
+// RunAllExperimentsContext is RunAllExperiments under a context.
+func RunAllExperimentsContext(ctx context.Context, w io.Writer, full bool) error {
 	scale := bench.ScaleSmoke
 	if full {
 		scale = bench.ScaleFull
 	}
-	return bench.RunAll(w, scale)
+	return bench.RunAll(ctx, w, scale)
 }
