@@ -10,6 +10,12 @@
 //	torchgt-train -checkpoint-dir ckpts -checkpoint-every 5 -epochs 100
 //	torchgt-train -resume ckpts/epoch-00010.ckpt -dataset arxiv-sim
 //	torchgt-train -seqlen 512 -patience 8
+//	torchgt-train -seqpar 4 -method torchgt
+//
+// -seqpar P trains under the simulated sequence-parallel execution plan
+// (P ranks resharding sequence↔heads through channel all-to-alls). The
+// trajectory is bitwise identical to the serial run, so every other feature
+// — events, checkpoints, resume, early stopping — composes with it.
 package main
 
 import (
@@ -40,7 +46,7 @@ func main() {
 	lr := flag.Float64("lr", 2e-3, "learning rate")
 	seed := flag.Int64("seed", 1, "random seed")
 	seqLen := flag.Int("seqlen", 0, "mini-batched sequence length (node-level; 0 = full-graph sequence)")
-	workers := flag.Int("workers", 1, "simulated sequence-parallel workers (node-level, sparse attention)")
+	seqPar := flag.Int("seqpar", 1, "sequence-parallel ranks (simulated; bitwise-identical to serial, heads must divide)")
 	execWorkers := flag.Int("exec-workers", 0, "attention-head parallelism (0 = all cores)")
 	unpooled := flag.Bool("unpooled", false, "disable workspace pooling (debug/benchmark)")
 	patience := flag.Int("patience", 0, "early-stopping patience in epochs (0 = off)")
@@ -90,6 +96,8 @@ func main() {
 	// when a resumed checkpoint carried a non-zero patience).
 	addIf(given["patience"] || (fresh && *patience > 0), torchgt.WithEarlyStopping(*patience))
 	addIf(fresh && *seqLen > 0, torchgt.WithSeqLen(*seqLen))
+	// Structural like seed/exec: a resumed checkpoint keeps its own plan.
+	addIf(fresh && *seqPar > 1, torchgt.WithSeqParallel(*seqPar))
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
 			fail(err)
@@ -132,10 +140,6 @@ func main() {
 			strings.Join(torchgt.GraphDatasetNames(), ", ")))
 	}
 	cfg := cfgFor(ds.X.Cols, ds.NumClasses)
-	if *workers > 1 {
-		trainDistributed(*workers, cfg, ds, *epochs, *lr)
-		return
-	}
 	if *seqLen > 0 {
 		task = torchgt.NodeSeqTask(ds)
 	} else {
@@ -146,6 +150,9 @@ func main() {
 	res := sess.Result()
 	fmt.Printf("final test accuracy: %.2f%%  (preprocess %.3fs, avg epoch %.3fs)\n",
 		res.FinalTestAcc*100, res.PreprocessTime.Seconds(), res.AvgEpochTime.Seconds())
+	if cb := sess.CommBytes(); cb > 0 {
+		fmt.Printf("sequence-parallel collective traffic: %.1f MB\n", float64(cb)/(1<<20))
+	}
 }
 
 // openSession builds a fresh session or resumes a checkpoint.
@@ -212,22 +219,5 @@ func printEvents(e torchgt.Event) {
 	case torchgt.EarlyStopEvent:
 		fmt.Printf("       [early-stop] epoch %d: no improvement in %d epochs (best %.4f)\n",
 			ev.Epoch, ev.Patience, ev.Best)
-	}
-}
-
-// trainDistributed runs the channel-based P-worker sequence-parallel loop.
-func trainDistributed(p int, cfg torchgt.ModelConfig, ds *torchgt.NodeDataset, epochs int, lr float64) {
-	cfg.Dropout = 0
-	if ds.G.N%p != 0 || cfg.Heads%p != 0 {
-		fail(fmt.Errorf("sequence (%d) and heads (%d) must divide workers (%d)", ds.G.N, cfg.Heads, p))
-	}
-	tr := torchgt.NewDistTrainer(p, cfg, lr)
-	in := torchgt.NodeInputs(ds)
-	spec := torchgt.SparseNodeSpec(ds)
-	fmt.Printf("distributed: %d workers, S=%d, heads/worker=%d\n", p, ds.G.N, cfg.Heads/p)
-	for ep := 0; ep < epochs; ep++ {
-		loss := tr.Step(in, spec, ds.Y, ds.TrainMask)
-		fmt.Printf("epoch %3d  loss %.4f  comm %.1f MB\n", ep, loss,
-			float64(tr.Comm.TotalBytes())/(1<<20))
 	}
 }

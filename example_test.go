@@ -58,7 +58,9 @@ func ExampleTrainNode() {
 }
 
 // ExampleNewDistTrainer runs one sequence-parallel training step across two
-// simulated workers and shows that real tensors were exchanged.
+// simulated ranks through the deprecated DistTrainer wrapper (new code uses
+// NewSession with WithSeqParallel) and shows that real tensors were
+// exchanged.
 func ExampleNewDistTrainer() {
 	ds, err := torchgt.LoadNodeDataset("arxiv-sim", 128, 3)
 	if err != nil {

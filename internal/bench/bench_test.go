@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table5", "table6", "table7", "table8",
 		"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b",
-		"fig10", "fig11", "fig12", "preproc", "dist", "workspace", "serve",
+		"fig10", "fig11", "fig12", "preproc", "dist", "workspace", "serve", "seqpar",
 		"ablation-interleave", "ablation-reorder", "ablation-db", "ablation-sampling", "ablation-bigbird",
 	}
 	for _, id := range want {
@@ -84,6 +84,17 @@ func TestSmokeDist(t *testing.T) {
 	out := smokeRun(t, "dist")
 	if !strings.Contains(out, "measured comm volume") {
 		t.Fatal("dist output incomplete")
+	}
+}
+
+// TestSmokeSeqPar pins the sequence-parallel experiment's contract: rows for
+// P ∈ {1, 2, 4} with identical loss (the experiment itself fails on any
+// trajectory divergence) plus measured-vs-modelled comm columns.
+func TestSmokeSeqPar(t *testing.T) {
+	skipIfShort(t)
+	out := smokeRun(t, "seqpar")
+	if !strings.Contains(out, "model reshard MB") || !strings.Contains(out, "bitwise") {
+		t.Fatal("seqpar output incomplete")
 	}
 }
 

@@ -1,9 +1,15 @@
-// Package dist is the simulated multi-GPU runtime: channel-based collective
-// communication between P worker goroutines (a numerically real
-// implementation of the paper's Cluster-aware Graph Parallelism /
-// DeepSpeed-Ulysses sequence↔head resharding), plus analytic performance and
-// memory models of the paper's two testbeds used by the experiment harness
-// to extrapolate laptop-scale measurements to paper-scale sequence lengths.
+// Package dist is the communication layer of the simulated multi-GPU
+// runtime: channel-based collectives between P rank goroutines, plus
+// analytic performance and memory models of the paper's two testbeds used
+// by the experiment harness to extrapolate laptop-scale measurements to
+// paper-scale sequence lengths.
+//
+// The execution side of sequence parallelism — the Ulysses sequence↔head
+// resharding of the paper's Cluster-aware Graph Parallelism (§III-C) —
+// lives in internal/model as the SeqParallel execution plan, which drives
+// the model's own layers and reshards through this package's Comm at every
+// attention boundary. (An earlier hand-rolled P-worker Trainer that
+// duplicated the layer math here has been deleted in its favour.)
 package dist
 
 import (
@@ -55,6 +61,11 @@ func NewComm(p int) *Comm {
 // by source rank (the caller's own part is passed through untouched).
 // Receivers must treat incoming matrices as read-only — ownership stays with
 // the sender, exactly like a registered send buffer.
+//
+// Degenerate parts are first-class: zero-row and zero-column matrices (the
+// empty tail shards sequence parallelism produces when P does not divide S)
+// round-trip with their shapes intact and contribute no traffic, and nil
+// parts are delivered as nil. Every rank must still enter the collective.
 func (c *Comm) AllToAll(rank int, parts []*tensor.Mat) []*tensor.Mat {
 	if len(parts) != c.P {
 		panic("dist: AllToAll needs one part per rank")
@@ -82,7 +93,8 @@ func (c *Comm) AllToAll(rank int, parts []*tensor.Mat) []*tensor.Mat {
 }
 
 // AllGather shares one matrix per rank with every rank, returned indexed by
-// source rank.
+// source rank. Zero-row, zero-column and nil inputs follow the AllToAll
+// contract.
 func (c *Comm) AllGather(rank int, m *tensor.Mat) []*tensor.Mat {
 	parts := make([]*tensor.Mat, c.P)
 	for d := range parts {

@@ -19,14 +19,18 @@ type Block struct {
 	Drop1    *nn.Dropout
 	Drop2    *nn.Dropout
 
-	rt *Runtime
+	plan Plan
 }
 
-// SetRuntime attaches the execution engine to the block and its attention.
-func (b *Block) SetRuntime(rt *Runtime) {
-	b.rt = rt
-	b.Attn.SetRuntime(rt)
+// SetPlan attaches the execution plan to the block and its attention.
+func (b *Block) SetPlan(p Plan) {
+	b.plan = normPlan(p)
+	b.Attn.SetPlan(p)
 }
+
+// SetRuntime attaches a single-process execution engine (pre-Plan entry
+// point).
+func (b *Block) SetRuntime(rt *Runtime) { b.SetPlan(rt) }
 
 // NewBlock constructs a transformer block.
 func NewBlock(name string, hidden, heads, ffnHidden, numBuckets int, dropout float64, rng *rand.Rand) *Block {
@@ -51,7 +55,7 @@ func (b *Block) Params() []*nn.Param {
 // step workspace; they are consumed within the step (the next layer caches
 // what its backward needs), so pooling them is safe.
 func (b *Block) Forward(x *tensor.Mat, spec *AttentionSpec, train bool) *tensor.Mat {
-	ws := b.rt.workspace(0)
+	ws := normPlan(b.plan).workspace(0)
 	h := b.Attn.Forward(b.LN1.Forward(x), spec)
 	h = b.Drop1.Forward(h, train)
 	x1 := ws.GetUninit(x.Rows, x.Cols)

@@ -13,18 +13,21 @@ import (
 // Graphormer; we keep one table per layer for simplicity and note the
 // difference in DESIGN.md).
 //
-// Execution is driven by the attached Runtime: heads fan out across worker
-// slots, each head drawing its kernel scratch from the slot's workspace.
-// Heads are fully independent — they read shared Q/K/V and write disjoint
-// column ranges of the shared output (and disjoint bias-table gradient
-// entries, since every index is ≡ head (mod Heads)) — so the fan-out is
-// race-free and bitwise identical to the sequential order.
+// The per-head section is dispatched through the attached execution Plan:
+// under the head-parallel Runtime heads fan out across worker slots, each
+// drawing kernel scratch from its slot's workspace; under the SeqParallel
+// plan P rank goroutines reshard sequence↔heads through channel all-to-alls
+// and run their local heads under per-rank workspaces. Heads are fully
+// independent — they read shared Q/K/V and write disjoint column ranges of
+// the shared output (and disjoint bias-table gradient entries, since every
+// index is ≡ head (mod Heads)) — so every plan is race-free and bitwise
+// identical to the sequential order.
 type MHA struct {
 	Hidden, Heads, Dh int
 	WQ, WK, WV, WO    *nn.Linear
 	BiasTable         *nn.Embedding // NumBuckets×Heads, nil when bias disabled
 
-	rt *Runtime
+	plan Plan
 
 	// per-forward state
 	kernels []attention.Kernel
@@ -46,9 +49,13 @@ func NewMHA(name string, hidden, heads, numBuckets int, rng *rand.Rand) *MHA {
 	return m
 }
 
-// SetRuntime attaches the execution engine (nil reverts to sequential,
-// unpooled execution).
-func (m *MHA) SetRuntime(rt *Runtime) { m.rt = rt }
+// SetPlan attaches the execution plan (nil reverts to sequential, unpooled
+// execution).
+func (m *MHA) SetPlan(p Plan) { m.plan = normPlan(p) }
+
+// SetRuntime attaches a single-process execution engine (nil reverts to
+// sequential, unpooled execution). Kept as the pre-Plan entry point.
+func (m *MHA) SetRuntime(rt *Runtime) { m.SetPlan(rt) }
 
 // Params implements nn.Module.
 func (m *MHA) Params() []*nn.Param {
@@ -127,53 +134,30 @@ func (m *MHA) newKernelInner(head int, spec *AttentionSpec, s int, ws *tensor.Wo
 	panic("model: unknown attention mode")
 }
 
-// Forward runs multi-head attention over x (S×Hidden) using spec's kernels,
-// fanning heads out across the runtime's workers.
+// Forward runs multi-head attention over x (S×Hidden) using spec's kernels.
+// The projections are row-wise and run over the full sequence; the per-head
+// section is scheduled by the attached Plan.
 func (m *MHA) Forward(x *tensor.Mat, spec *AttentionSpec) *tensor.Mat {
 	if err := spec.Validate(x.Rows); err != nil {
 		panic(err)
 	}
 	m.spec = spec
-	s := x.Rows
 	q := m.WQ.Forward(x)
 	k := m.WK.Forward(x)
 	v := m.WV.Forward(x)
 	if len(m.kernels) != m.Heads {
 		m.kernels = make([]attention.Kernel, m.Heads)
 	}
-	concat := m.rt.workspace(0).Get(s, m.Hidden)
-	m.rt.forEachHead(m.Heads, func(h int, ws *tensor.Workspace) {
-		qh := colSlice(ws, q, h*m.Dh, m.Dh)
-		kh := colSlice(ws, k, h*m.Dh, m.Dh)
-		vh := colSlice(ws, v, h*m.Dh, m.Dh)
-		kr := m.newKernel(h, spec, s, ws)
-		m.kernels[h] = kr
-		oh := kr.Forward(qh, kh, vh)
-		addColSlice(concat, oh, h*m.Dh)
-	})
+	concat := normPlan(m.plan).forwardHeads(m, q, k, v, spec)
 	return m.WO.Forward(concat)
 }
 
-// Backward propagates through WO, each head's kernel and the projections
-// (heads again fanned out over workers), accumulating bias-table gradients,
+// Backward propagates through WO, each head's kernel (scheduled by the
+// Plan, which also accumulates bias-table gradients) and the projections,
 // and returns dX.
 func (m *MHA) Backward(dout *tensor.Mat) *tensor.Mat {
 	dConcat := m.WO.Backward(dout)
-	s := dConcat.Rows
-	ws0 := m.rt.workspace(0)
-	dq := ws0.Get(s, m.Hidden)
-	dk := ws0.Get(s, m.Hidden)
-	dv := ws0.Get(s, m.Hidden)
-	m.rt.forEachHead(m.Heads, func(h int, ws *tensor.Workspace) {
-		dOh := colSlice(ws, dConcat, h*m.Dh, m.Dh)
-		dqh, dkh, dvh := m.kernels[h].Backward(dOh)
-		addColSlice(dq, dqh, h*m.Dh)
-		addColSlice(dk, dkh, h*m.Dh)
-		addColSlice(dv, dvh, h*m.Dh)
-		// Safe under head parallelism: every touched gradient index is
-		// ≡ h (mod Heads), so heads write disjoint entries.
-		m.AccumBiasGrads(h, m.kernels[h], m.spec)
-	})
+	dq, dk, dv := normPlan(m.plan).backwardHeads(m, dConcat)
 	dx := m.WQ.Backward(dq)
 	tensor.AddInPlace(dx, m.WK.Backward(dk))
 	tensor.AddInPlace(dx, m.WV.Backward(dv))

@@ -26,11 +26,12 @@ func (o ExecOptions) withDefaults() ExecOptions {
 	return o
 }
 
-// Runtime is the execution engine shared by every layer of one model: a set
-// of worker-slot workspaces plus the head fan-out scheduler. One runtime is
-// owned by one model (or one rank's replica); it must not be shared across
-// concurrently-trained models. A nil *Runtime is valid and degrades to
-// sequential, heap-allocated execution, which keeps old call sites working.
+// Runtime is the single-process execution Plan shared by every layer of one
+// model: a set of worker-slot workspaces plus the head fan-out scheduler.
+// One runtime is owned by one model (or one rank's replica); it must not be
+// shared across concurrently-trained models. A nil *Runtime is valid and
+// degrades to sequential, heap-allocated execution, which keeps old call
+// sites working (and doubles as the "serial" plan).
 type Runtime struct {
 	opts ExecOptions
 	wss  []*tensor.Workspace // one per worker slot; nil slots when pooling disabled
@@ -62,6 +63,9 @@ func (r *Runtime) Options() ExecOptions {
 	}
 	return r.opts
 }
+
+// Ranks implements Plan: the single-process engine is one simulated device.
+func (r *Runtime) Ranks() int { return 1 }
 
 // workspace returns the worker-slot workspace (nil when pooling is off or r
 // is nil, which every consumer tolerates via the nil-workspace fallback).
@@ -133,4 +137,45 @@ func (r *Runtime) forEachHead(heads int, body func(h int, ws *tensor.Workspace))
 		}(slot)
 	}
 	wg.Wait()
+}
+
+// forwardHeads implements Plan: fan the per-head kernels out across the
+// runtime's worker slots. Heads are independent — they read shared q/k/v and
+// add into disjoint column ranges of the shared concat — so the fan-out is
+// race-free and bitwise identical to sequential execution.
+func (r *Runtime) forwardHeads(m *MHA, q, k, v *tensor.Mat, spec *AttentionSpec) *tensor.Mat {
+	s := q.Rows
+	concat := r.workspace(0).Get(s, m.Hidden)
+	r.forEachHead(m.Heads, func(h int, ws *tensor.Workspace) {
+		qh := colSlice(ws, q, h*m.Dh, m.Dh)
+		kh := colSlice(ws, k, h*m.Dh, m.Dh)
+		vh := colSlice(ws, v, h*m.Dh, m.Dh)
+		kr := m.newKernel(h, spec, s, ws)
+		m.kernels[h] = kr
+		oh := kr.Forward(qh, kh, vh)
+		addColSlice(concat, oh, h*m.Dh)
+	})
+	return concat
+}
+
+// backwardHeads implements Plan: the mirrored backward fan-out, including
+// per-head bias-table gradient accumulation (disjoint entries, see
+// MHA.AccumBiasGrads).
+func (r *Runtime) backwardHeads(m *MHA, dConcat *tensor.Mat) (dq, dk, dv *tensor.Mat) {
+	s := dConcat.Rows
+	ws0 := r.workspace(0)
+	dq = ws0.Get(s, m.Hidden)
+	dk = ws0.Get(s, m.Hidden)
+	dv = ws0.Get(s, m.Hidden)
+	r.forEachHead(m.Heads, func(h int, ws *tensor.Workspace) {
+		dOh := colSlice(ws, dConcat, h*m.Dh, m.Dh)
+		dqh, dkh, dvh := m.kernels[h].Backward(dOh)
+		addColSlice(dq, dqh, h*m.Dh)
+		addColSlice(dk, dkh, h*m.Dh)
+		addColSlice(dv, dvh, h*m.Dh)
+		// Safe under head parallelism: every touched gradient index is
+		// ≡ h (mod Heads), so heads write disjoint entries.
+		m.AccumBiasGrads(h, m.kernels[h], m.spec)
+	})
+	return dq, dk, dv
 }

@@ -25,21 +25,33 @@ type GraphTransformer struct {
 	InDrop   *nn.Dropout
 	numToken int // cached sequence length incl. global token
 
-	rt *Runtime
+	plan Plan
 }
 
-// SetRuntime swaps the execution engine (head parallelism + workspace
-// pooling) for the model and all of its blocks. A nil runtime reverts to
-// sequential, unpooled execution.
-func (g *GraphTransformer) SetRuntime(rt *Runtime) {
-	g.rt = rt
+// SetPlan swaps the execution plan — serial or head-parallel (*Runtime), or
+// sequence-parallel (*SeqParallel) — for the model and all of its blocks. A
+// nil plan reverts to sequential, unpooled execution.
+func (g *GraphTransformer) SetPlan(p Plan) {
+	g.plan = normPlan(p)
 	for _, b := range g.Blocks {
-		b.SetRuntime(rt)
+		b.SetPlan(p)
 	}
 }
 
-// Runtime reports the model's execution engine.
-func (g *GraphTransformer) Runtime() *Runtime { return g.rt }
+// SetRuntime swaps in a single-process execution engine (head parallelism +
+// workspace pooling). A nil runtime reverts to sequential, unpooled
+// execution. Kept as the pre-Plan entry point; SetPlan generalises it.
+func (g *GraphTransformer) SetRuntime(rt *Runtime) { g.SetPlan(rt) }
+
+// Plan reports the model's execution plan.
+func (g *GraphTransformer) Plan() Plan { return normPlan(g.plan) }
+
+// Runtime reports the model's single-process execution engine, or nil when
+// the model runs under a different plan (e.g. SeqParallel).
+func (g *GraphTransformer) Runtime() *Runtime {
+	rt, _ := g.plan.(*Runtime)
+	return rt
+}
 
 // Inputs carries per-step input tensors alongside features.
 type Inputs struct {
@@ -146,7 +158,7 @@ func (g *GraphTransformer) embed(in *Inputs, train bool) *tensor.Mat {
 // attention scratch returns to the pool here. Forward → Backward pairs
 // within one step therefore see stable buffers.
 func (g *GraphTransformer) Forward(in *Inputs, spec *AttentionSpec, train bool) *tensor.Mat {
-	g.rt.StepReset()
+	g.Plan().StepReset()
 	h := g.embed(in, train)
 	for _, b := range g.Blocks {
 		h = b.Forward(h, spec, train)

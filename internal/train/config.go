@@ -1,6 +1,10 @@
 package train
 
-import "torchgt/internal/model"
+import (
+	"fmt"
+
+	"torchgt/internal/model"
+)
 
 // Config is the single shared configuration for every training task. The
 // node-, graph-level and sequence-sampled regimes are adapters over one Loop
@@ -46,8 +50,15 @@ type Config struct {
 	EarlyStopPatience int
 	Seed              int64
 	// Exec overrides the model's execution engine (head-parallel workers +
-	// workspace pooling); nil keeps the pooled default.
+	// workspace pooling); nil keeps the pooled default. Under sequence
+	// parallelism only PoolEnabled applies (per-rank workspaces).
 	Exec *model.ExecOptions
+	// SeqParallel runs the model under the simulated sequence-parallel
+	// execution plan of this many ranks (0 or 1 = single device). Training
+	// under the plan is bitwise identical to serial training; the model's
+	// head count must be divisible by the rank count. Structural: recorded
+	// in checkpoints and fixed across resume.
+	SeqParallel int
 }
 
 // NodeConfig, GraphConfig and SeqConfig are kept as aliases of the shared
@@ -86,4 +97,27 @@ func (c Config) withDefaults() Config {
 		c.FixedBeta = -1 // Auto Tuner
 	}
 	return c
+}
+
+// applyExec attaches the configured execution plan to a freshly built model
+// — the single construction path used by every trainer. SeqParallel > 1
+// selects the sequence-parallel plan (per-rank workspaces, comm resharding
+// at attention boundaries); otherwise an explicit Exec override swaps in a
+// head-parallel Runtime, and nil Exec keeps the model's pooled default.
+func (c Config) applyExec(m *model.GraphTransformer) {
+	if c.SeqParallel > 1 {
+		if m.Cfg.Heads%c.SeqParallel != 0 {
+			panic(fmt.Sprintf("train: %d attention heads not divisible by %d sequence-parallel ranks",
+				m.Cfg.Heads, c.SeqParallel))
+		}
+		eo := model.ExecOptions{PoolEnabled: true}
+		if c.Exec != nil {
+			eo = *c.Exec
+		}
+		m.SetPlan(model.NewSeqParallel(c.SeqParallel, eo))
+		return
+	}
+	if c.Exec != nil {
+		m.SetRuntime(model.NewRuntime(*c.Exec))
+	}
 }

@@ -80,9 +80,7 @@ func NewGraphTrainer(cfg GraphConfig, modelCfg model.Config, ds *graph.GraphData
 	}
 	tr.preprocess = time.Since(t0)
 	tr.Model = model.NewGraphTransformer(modelCfg)
-	if cfg.Exec != nil {
-		tr.Model.SetRuntime(model.NewRuntime(*cfg.Exec))
-	}
+	cfg.applyExec(tr.Model)
 	return tr
 }
 
@@ -124,6 +122,11 @@ func (tr *GraphTrainer) Kind() string { return TaskGraph }
 func (tr *GraphTrainer) Preprocess() time.Duration { return tr.preprocess }
 
 func (tr *GraphTrainer) runRNG() *nn.CountedSource { return tr.rngSrc }
+
+func (tr *GraphTrainer) reconfigure(cfg Config) {
+	tr.Cfg.Epochs, tr.Cfg.LR = cfg.Epochs, cfg.LR
+	tr.Cfg.Warmup, tr.Cfg.EarlyStopPatience = cfg.Warmup, cfg.EarlyStopPatience
+}
 
 // BeginEpoch implements Task: shuffle the training graphs.
 func (tr *GraphTrainer) BeginEpoch(int) {

@@ -91,6 +91,11 @@ type Task interface {
 
 	// setEmit wires the Loop's event dispatcher into the task.
 	setEmit(func(Event))
+	// reconfigure propagates resumed lifecycle fields (epochs, LR, warmup,
+	// patience) into the task's own config copy, so task decisions keyed on
+	// them — e.g. the node task's final-evaluation interleave phase at
+	// Cfg.Epochs — match an uninterrupted run with that configuration.
+	reconfigure(cfg Config)
 	// runRNG exposes the task's run-time RNG source for checkpointing
 	// (nil when the task draws none).
 	runRNG() *nn.CountedSource
@@ -108,6 +113,10 @@ type taskBase struct {
 }
 
 func (b *taskBase) setEmit(f func(Event)) { b.emit = f }
+
+// reconfigure is a no-op default for tasks without config-keyed decisions;
+// the real trainers override it to refresh their Config copy.
+func (b *taskBase) reconfigure(Config) {}
 
 func (b *taskBase) base() *taskBase { return b }
 
@@ -145,6 +154,7 @@ type Loop struct {
 	opt    *nn.Adam
 	sched  nn.LRScheduler
 	params []*nn.Param
+	seqpar *model.SeqParallel // non-nil when the model runs sequence-parallel
 
 	curve       []Point
 	epoch       int  // next epoch to run
@@ -174,6 +184,7 @@ func NewLoop(task Task, m *model.GraphTransformer, cfg Config) *Loop {
 		l.sched = nn.WarmupPoly{Peak: cfg.LR, Warmup: cfg.Warmup, Total: cfg.Epochs, Power: 1}
 	}
 	l.params = m.Params()
+	l.seqpar = model.AsSeqParallel(m.Plan())
 	l.preprocess = task.Preprocess()
 	task.setEmit(l.fire)
 	return l
@@ -185,11 +196,16 @@ func (l *Loop) Model() *model.GraphTransformer { return l.model }
 // Reconfigure updates the lifecycle fields of the running configuration
 // after a resume: total epochs, learning-rate schedule (LR/Warmup) and
 // early-stopping patience take effect immediately. Structural fields
-// (method, batch shape, seeds, exec) were baked into the task at
-// construction and are NOT re-read — resuming with them changed is a no-op
-// for those fields.
+// (method, batch shape, seeds, exec, sequence parallelism) were baked into
+// the task at construction and are NOT re-read — they keep their running
+// values, so resuming with them changed is a no-op for those fields and
+// later checkpoints still record the configuration actually in effect.
 func (l *Loop) Reconfigure(cfg Config) {
-	l.Cfg = cfg
+	l.Cfg.Epochs = cfg.Epochs
+	l.Cfg.LR = cfg.LR
+	l.Cfg.Warmup = cfg.Warmup
+	l.Cfg.EarlyStopPatience = cfg.EarlyStopPatience
+	l.Task.reconfigure(l.Cfg)
 	l.opt.LR = cfg.LR
 	l.sched = nn.ConstantLR{Base: cfg.LR}
 	if cfg.Warmup > 0 {
@@ -243,9 +259,14 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 				return l.Result(), err
 			}
 			l.Task.Step(l.epoch, l.stepInEpoch, l.globalStep)
+			if l.seqpar != nil {
+				// the gradient-synchronisation collective that closes every
+				// sequence-parallel optimiser step (fixed rank order)
+				l.seqpar.SyncGradients(l.params)
+			}
 			nn.StepWith(l.opt, l.sched, l.epoch, l.params)
 			// step boundary: every gradient is consumed, recycle workspaces
-			l.model.Runtime().StepReset()
+			l.model.Plan().StepReset()
 			l.globalStep++
 			l.stepInEpoch++
 		}

@@ -74,9 +74,7 @@ func NewNodeTrainer(cfg NodeConfig, modelCfg model.Config, ds *graph.NodeDataset
 	tr.preprocess = time.Since(t0)
 
 	tr.Model = model.NewGraphTransformer(modelCfg)
-	if cfg.Exec != nil {
-		tr.Model.SetRuntime(model.NewRuntime(*cfg.Exec))
-	}
+	cfg.applyExec(tr.Model)
 	degIn, degOut := encoding.DegreeBuckets(tr.DS.G, 63)
 	tr.inputs = &model.Inputs{X: tr.DS.X, DegInIdx: degIn, DegOutIdx: degOut}
 	if modelCfg.UseLapPE {
@@ -149,6 +147,11 @@ func (tr *NodeTrainer) Kind() string { return TaskNode }
 func (tr *NodeTrainer) Preprocess() time.Duration { return tr.preprocess }
 
 func (tr *NodeTrainer) runRNG() *nn.CountedSource { return nil }
+
+func (tr *NodeTrainer) reconfigure(cfg Config) {
+	tr.Cfg.Epochs, tr.Cfg.LR = cfg.Epochs, cfg.LR
+	tr.Cfg.Warmup, tr.Cfg.EarlyStopPatience = cfg.Warmup, cfg.EarlyStopPatience
+}
 
 // BeginEpoch implements Task, emitting interleave phase-switch events for
 // the TorchGT schedule.

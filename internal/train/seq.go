@@ -37,9 +37,7 @@ func NewSeqTrainer(cfg SeqConfig, modelCfg model.Config, ds *graph.NodeDataset) 
 	}
 	tr := &SeqTrainer{Cfg: cfg, Model: model.NewGraphTransformer(modelCfg), DS: ds}
 	tr.rng, tr.rngSrc = nn.NewCountedRand(cfg.Seed)
-	if cfg.Exec != nil {
-		tr.Model.SetRuntime(model.NewRuntime(*cfg.Exec))
-	}
+	cfg.applyExec(tr.Model)
 	return tr
 }
 
@@ -79,6 +77,11 @@ func (tr *SeqTrainer) Kind() string { return TaskSeq }
 func (tr *SeqTrainer) Preprocess() time.Duration { return 0 }
 
 func (tr *SeqTrainer) runRNG() *nn.CountedSource { return tr.rngSrc }
+
+func (tr *SeqTrainer) reconfigure(cfg Config) {
+	tr.Cfg.Epochs, tr.Cfg.LR = cfg.Epochs, cfg.LR
+	tr.Cfg.Warmup, tr.Cfg.EarlyStopPatience = cfg.Warmup, cfg.EarlyStopPatience
+}
 
 // BeginEpoch implements Task: draw the epoch's node permutation.
 func (tr *SeqTrainer) BeginEpoch(int) {

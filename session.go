@@ -98,6 +98,24 @@ func WithExec(e ExecOptions) SessionOption {
 	return func(s *sessionSettings) { ec := e; s.cfg.Exec = &ec }
 }
 
+// WithSeqParallel trains under the simulated sequence-parallel execution
+// plan of p ranks: every rank owns S/p sequence rows, attention reshards
+// sequence↔heads through channel all-to-alls at each layer (the
+// DeepSpeed-Ulysses schedule behind the paper's Cluster-aware Graph
+// Parallelism), and each optimiser step ends with the fixed-order gradient
+// synchronisation collective. The training trajectory is bitwise identical
+// to the serial plan at every p — sequence parallelism composes with Adam,
+// LR schedules, the beta tuner, dense↔cluster-sparse interleaving, typed
+// events and checkpoint/resume without changing a single number.
+//
+// The model's head count must be divisible by p (NewSession reports an
+// error otherwise); the sequence length need not be. p ≤ 1 keeps the
+// single-device plan. Structural: recorded in checkpoints, fixed across
+// ResumeSession.
+func WithSeqParallel(p int) SessionOption {
+	return func(s *sessionSettings) { s.cfg.SeqParallel = p }
+}
+
 // WithBatchSize sets the graph-level optimiser batch (default 16).
 func WithBatchSize(n int) SessionOption { return func(s *sessionSettings) { s.cfg.BatchSize = n } }
 
@@ -204,6 +222,16 @@ func buildTrainer(task TaskSpec, cfg train.Config, mcfg ModelConfig, forResume b
 	if forResume {
 		subject, suffix = "checkpoint model", " (mismatched ModelConfig)"
 	}
+	if cfg.SeqParallel > 1 {
+		heads := mcfg.Heads
+		if heads == 0 {
+			heads = 1 // the model-config default
+		}
+		if heads%cfg.SeqParallel != 0 {
+			return nil, nil, nil, fmt.Errorf("torchgt: %s has %d attention heads, not divisible by %d sequence-parallel ranks (WithSeqParallel)",
+				subject, heads, cfg.SeqParallel)
+		}
+	}
 	switch task.kind {
 	case train.TaskNode, train.TaskSeq:
 		ds := task.node
@@ -260,6 +288,16 @@ func (s *Session) Epoch() int { return s.loop.Epoch() }
 // Model exposes the model under training (for freezing into a serving
 // snapshot, custom evaluation, …).
 func (s *Session) Model() *GraphTransformer { return s.loop.Model() }
+
+// CommBytes reports the total simulated collective-communication traffic of
+// a sequence-parallel session so far (resharding all-to-alls plus gradient
+// synchronisation), or 0 when the session runs the single-device plan.
+func (s *Session) CommBytes() int64 {
+	if sp := model.AsSeqParallel(s.loop.Model().Plan()); sp != nil {
+		return sp.Comm().TotalBytes()
+	}
+	return 0
+}
 
 // EvalMAE reports the test MAE for graph-level regression sessions (0 for
 // other tasks).

@@ -257,3 +257,87 @@ func TestSessionValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionSeqParallelPublic drives WithSeqParallel end to end through the
+// public API: a sequence-parallel session must train bitwise-identically to
+// a serial session (curve and weights), record collective traffic, survive a
+// cancel → checkpoint → resume round trip, and reject head counts the rank
+// count cannot divide.
+func TestSessionSeqParallelPublic(t *testing.T) {
+	ds := sessionNodeDS(t, 190, 101) // 190 rows: not divisible by 4
+	cfg := GraphormerSlim(ds.X.Cols, ds.NumClasses, 102)
+	cfg.Layers = 1
+	cfg.Heads = 4
+
+	run := func(opts ...SessionOption) (*Session, *Result) {
+		t.Helper()
+		base := []SessionOption{WithEpochs(4), WithLR(2e-3), WithSeed(103), WithFixedBeta(0.5), WithInterval(2)}
+		s, err := NewSession(MethodTorchGT, cfg, NodeTask(ds), append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, res
+	}
+	serial, serialRes := run()
+	if serial.CommBytes() != 0 {
+		t.Fatal("serial session must report zero comm traffic")
+	}
+	for _, p := range []int{2, 4} {
+		par, parRes := run(WithSeqParallel(p))
+		weightsEqual(t, serial.Model(), par.Model())
+		if len(serialRes.Curve) != len(parRes.Curve) {
+			t.Fatalf("P=%d: curve lengths differ", p)
+		}
+		for i := range serialRes.Curve {
+			a, b := serialRes.Curve[i], parRes.Curve[i]
+			a.EpochTime, b.EpochTime = 0, 0
+			if a != b {
+				t.Fatalf("P=%d curve[%d]: %+v vs %+v", p, i, serialRes.Curve[i], parRes.Curve[i])
+			}
+		}
+		if par.CommBytes() == 0 {
+			t.Fatalf("P=%d: no collective traffic recorded", p)
+		}
+	}
+
+	// cancel mid-run → checkpoint → resume, all sequence-parallel
+	ctx, cancel := context.WithCancel(context.Background())
+	sess, err := NewSession(MethodTorchGT, cfg, NodeTask(ds),
+		WithEpochs(4), WithLR(2e-3), WithSeed(103), WithFixedBeta(0.5), WithInterval(2),
+		WithSeqParallel(2),
+		WithEventSink(func(e Event) {
+			if ep, ok := e.(EpochEvent); ok && ep.Epoch == 1 {
+				cancel()
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "seqpar.ckpt")
+	if err := sess.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeSession(path, NodeTask(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	weightsEqual(t, serial.Model(), resumed.Model())
+	if resumed.CommBytes() == 0 {
+		t.Fatal("resumed session must rebuild the sequence-parallel plan")
+	}
+
+	// validation: 4 heads cannot shard over 3 ranks
+	if _, err := NewSession(MethodTorchGT, cfg, NodeTask(ds), WithSeqParallel(3)); err == nil {
+		t.Fatal("heads not divisible by ranks must fail at session build")
+	}
+}
