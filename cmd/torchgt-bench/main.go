@@ -4,6 +4,7 @@
 //
 //	torchgt-bench -exp table5            # one experiment, full scale
 //	torchgt-bench -exp all -scale smoke  # everything, fast
+//	torchgt-bench -exp table5 -data file://real.tgds  # run against your own data
 //	torchgt-bench -list
 package main
 
@@ -16,14 +17,19 @@ import (
 	"syscall"
 
 	"torchgt"
+	"torchgt/internal/bench"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	scale := flag.String("scale", "full", "smoke | full")
+	dataSpec := flag.String("data", "", "node-level dataset spec; routes every experiment's node dataset through it (subsampled to each experiment's scale)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
+	if *dataSpec != "" {
+		bench.SetNodeDataSpec(*dataSpec)
+	}
 	if *list {
 		for _, id := range torchgt.ExperimentIDs() {
 			fmt.Println(id)

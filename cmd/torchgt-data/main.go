@@ -1,66 +1,202 @@
-// torchgt-data generates and inspects the synthetic datasets that stand in
-// for the paper's benchmark suites (Table III).
+// torchgt-data is the dataset tool: it generates synthetic presets,
+// converts external data (edge lists, JSONL) into the universal tGDS
+// container, inspects any dataset spec, and re-splits datasets — all over
+// the same URI-style specs the training, serving and bench tools accept.
 //
 // Usage:
 //
-//	torchgt-data -list
-//	torchgt-data -dataset products-sim -nodes 4096
+//	torchgt-data list
+//	torchgt-data gen -dataset arxiv-sim -nodes 4096 -seed 1 -o arxiv.tgds
+//	torchgt-data convert -in "edgelist://edges.csv?labels=labels.csv" -o real.tgds
+//	torchgt-data inspect -data "synth://products-sim?subsample=2048"
+//	torchgt-data inspect -data file://real.tgds
+//	torchgt-data split -in file://real.tgds -train 0.7 -val 0.1 -seed 3 -o resplit.tgds
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"torchgt"
 )
 
 func main() {
-	dataset := flag.String("dataset", "", "dataset to generate/inspect")
-	nodes := flag.Int("nodes", 0, "node count override for node-level datasets")
-	seed := flag.Int64("seed", 1, "random seed")
-	list := flag.Bool("list", false, "list datasets and exit")
-	flag.Parse()
-
-	if *list || *dataset == "" {
-		fmt.Println("node-level:")
-		for _, n := range torchgt.NodeDatasetNames() {
-			fmt.Println("  ", n)
-		}
-		fmt.Println("graph-level:")
-		for _, n := range torchgt.GraphDatasetNames() {
-			fmt.Println("  ", n)
-		}
-		return
-	}
-	for _, n := range torchgt.GraphDatasetNames() {
-		if n == *dataset {
-			ds, err := torchgt.LoadGraphDataset(*dataset, *seed)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			var nodesTot, edgesTot int
-			for _, g := range ds.Graphs {
-				nodesTot += g.N
-				edgesTot += g.NumEdges()
-			}
-			fmt.Printf("dataset %s: %d graphs, task %s, %d classes, feat dim %d\n",
-				ds.Name, len(ds.Graphs), ds.Task, ds.NumClasses, ds.FeatDim)
-			fmt.Printf("avg nodes %.1f, avg edges %.1f\n",
-				float64(nodesTot)/float64(len(ds.Graphs)), float64(edgesTot)/float64(len(ds.Graphs)))
-			return
-		}
-	}
-	ds, err := torchgt.LoadNodeDataset(*dataset, *nodes, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "torchgt-data:", err)
 		os.Exit(1)
 	}
+}
+
+const usage = `usage: torchgt-data <command> [flags]
+
+commands:
+  list      list providers, presets and the spec grammar
+  gen       generate a synthetic preset and write a tGDS container
+  convert   open any dataset spec and write a tGDS container
+  inspect   open any dataset spec and print a summary
+  split     re-draw a dataset's train/val/test split and write a tGDS container
+`
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		fmt.Fprint(out, usage)
+		return nil
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "list", "-list", "--list":
+		return runList(out)
+	case "gen":
+		return runGen(rest, out)
+	case "convert":
+		return runConvert(rest, out)
+	case "inspect":
+		return runInspect(rest, out)
+	case "split":
+		return runSplit(rest, out)
+	case "help", "-h", "--help":
+		fmt.Fprint(out, usage)
+		return nil
+	}
+	return fmt.Errorf("unknown command %q\n%s", cmd, usage)
+}
+
+func runList(out io.Writer) error {
+	fmt.Fprintln(out, "providers:")
+	for _, s := range torchgt.DatasetSchemes() {
+		fmt.Fprintf(out, "  %s://\n", s)
+	}
+	fmt.Fprintln(out, "synthetic node-level presets (synth://<name>?nodes=N&seed=S):")
+	for _, n := range torchgt.NodeDatasetNames() {
+		fmt.Fprintln(out, "  ", n)
+	}
+	fmt.Fprintln(out, "synthetic graph-level presets (synth://<name>?seed=S):")
+	for _, n := range torchgt.GraphDatasetNames() {
+		fmt.Fprintln(out, "  ", n)
+	}
+	fmt.Fprintln(out, "transforms (any spec): subsample=N  selfloops=1  permute=1  resplit=TRAIN:VAL")
+	return nil
+}
+
+func runGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	dataset := fs.String("dataset", "", "synthetic preset name (see list)")
+	nodes := fs.Int("nodes", 0, "node count override for node-level presets (0 = preset size)")
+	seed := fs.Int64("seed", 1, "generation seed")
+	outPath := fs.String("o", "", "output tGDS path (omit to print a summary only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataset == "" {
+		return fmt.Errorf("gen: -dataset is required (see torchgt-data list)")
+	}
+	spec := fmt.Sprintf("synth://%s?seed=%d", *dataset, *seed)
+	if *nodes > 0 {
+		spec = fmt.Sprintf("synth://%s?nodes=%d&seed=%d", *dataset, *nodes, *seed)
+	}
+	return openAndWrite(spec, *outPath, out)
+}
+
+func runConvert(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	in := fs.String("in", "", "input dataset spec (edgelist://, jsonl://, synth://, file://)")
+	outPath := fs.String("o", "", "output tGDS path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *outPath == "" {
+		return fmt.Errorf("convert: -in and -o are required")
+	}
+	return openAndWrite(*in, *outPath, out)
+}
+
+func runInspect(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	spec := fs.String("data", "", "dataset spec to inspect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spec == "" {
+		return fmt.Errorf("inspect: -data is required")
+	}
+	d, err := torchgt.OpenDataset(*spec)
+	if err != nil {
+		return err
+	}
+	describe(out, d)
+	return nil
+}
+
+func runSplit(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("split", flag.ContinueOnError)
+	in := fs.String("in", "", "input dataset spec")
+	trainFrac := fs.Float64("train", 0.6, "train fraction")
+	valFrac := fs.Float64("val", 0.2, "validation fraction")
+	seed := fs.Int64("seed", 1, "split seed")
+	outPath := fs.String("o", "", "output tGDS path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *outPath == "" {
+		return fmt.Errorf("split: -in and -o are required")
+	}
+	d, err := torchgt.OpenDataset(*in)
+	if err != nil {
+		return err
+	}
+	d, err = torchgt.ApplyTransforms(d, torchgt.TransformResplit(*trainFrac, *valFrac, *seed))
+	if err != nil {
+		return err
+	}
+	if err := torchgt.SaveDataset(*outPath, d); err != nil {
+		return err
+	}
+	describe(out, d)
+	fmt.Fprintf(out, "written to %s\n", *outPath)
+	return nil
+}
+
+// openAndWrite opens a spec, prints its summary and optionally writes the
+// tGDS container.
+func openAndWrite(spec, outPath string, out io.Writer) error {
+	d, err := torchgt.OpenDataset(spec)
+	if err != nil {
+		return err
+	}
+	describe(out, d)
+	if outPath == "" {
+		return nil
+	}
+	if err := torchgt.SaveDataset(outPath, d); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "written to %s (open with -data file://%s)\n", outPath, outPath)
+	return nil
+}
+
+// describe prints the summary block for either dataset kind.
+func describe(out io.Writer, d *torchgt.Dataset) {
+	if gd := d.Graph; gd != nil {
+		var nodesTot, edgesTot int
+		for _, g := range gd.Graphs {
+			nodesTot += g.N
+			edgesTot += g.NumEdges()
+		}
+		fmt.Fprintf(out, "dataset %s: %d graphs, task %s, %d classes, feat dim %d\n",
+			gd.Name, len(gd.Graphs), gd.Task, gd.NumClasses, gd.FeatDim)
+		fmt.Fprintf(out, "avg nodes %.1f, avg edges %.1f\n",
+			float64(nodesTot)/float64(len(gd.Graphs)), float64(edgesTot)/float64(len(gd.Graphs)))
+		fmt.Fprintf(out, "splits: train %d / val %d / test %d\n",
+			len(gd.TrainIdx), len(gd.ValIdx), len(gd.TestIdx))
+		return
+	}
+	ds := d.Node
 	g := ds.G
-	fmt.Printf("dataset %s: %d nodes, %d edges, %d classes, feat dim %d\n",
+	fmt.Fprintf(out, "dataset %s: %d nodes, %d edges, %d classes, feat dim %d\n",
 		ds.Name, g.N, g.NumEdges(), ds.NumClasses, ds.X.Cols)
-	fmt.Printf("sparsity β_G = %.6f, avg degree %.2f, max degree %d, connected: %v\n",
+	fmt.Fprintf(out, "sparsity β_G = %.6f, avg degree %.2f, max degree %d, connected: %v\n",
 		g.Sparsity(), g.AvgDegree(), g.MaxDegree(), g.IsConnected())
 	train, val, test := 0, 0, 0
 	for i := range ds.Y {
@@ -73,5 +209,5 @@ func main() {
 			test++
 		}
 	}
-	fmt.Printf("splits: train %d / val %d / test %d\n", train, val, test)
+	fmt.Fprintf(out, "splits: train %d / val %d / test %d\n", train, val, test)
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDataToolSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+
+	// list
+	if err := run([]string{"list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"synth://", "edgelist://", "arxiv-sim", "zinc-sim", "resplit"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// gen → tGDS
+	tgds := filepath.Join(dir, "arxiv.tgds")
+	out.Reset()
+	if err := run([]string{"gen", "-dataset", "arxiv-sim", "-nodes", "128", "-seed", "2", "-o", tgds}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "128 nodes") {
+		t.Fatalf("gen summary:\n%s", out.String())
+	}
+
+	// inspect the generated container
+	out.Reset()
+	if err := run([]string{"inspect", "-data", "file://" + tgds}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dataset arxiv-sim: 128 nodes") {
+		t.Fatalf("inspect output:\n%s", out.String())
+	}
+
+	// convert an edge list fixture
+	var eb strings.Builder
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&eb, "%d,%d\n", i, (i+1)%30)
+	}
+	csv := filepath.Join(dir, "edges.csv")
+	if err := os.WriteFile(csv, []byte(eb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	conv := filepath.Join(dir, "real.tgds")
+	out.Reset()
+	if err := run([]string{"convert", "-in", "edgelist://" + csv + "?featdim=4", "-o", conv}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "30 nodes") {
+		t.Fatalf("convert summary:\n%s", out.String())
+	}
+
+	// split rewrites the masks
+	split := filepath.Join(dir, "resplit.tgds")
+	out.Reset()
+	if err := run([]string{"split", "-in", "file://" + conv, "-train", "0.5", "-val", "0.25", "-seed", "4", "-o", split}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(split); err != nil {
+		t.Fatal(err)
+	}
+
+	// graph-level inspect path
+	out.Reset()
+	if err := run([]string{"inspect", "-data", "synth://zinc-sim?subsample=20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "20 graphs") {
+		t.Fatalf("graph-level inspect:\n%s", out.String())
+	}
+
+	// errors
+	if err := run([]string{"frobnicate"}, &out); err == nil {
+		t.Fatal("unknown command must error")
+	}
+	if err := run([]string{"gen"}, &out); err == nil {
+		t.Fatal("gen without -dataset must error")
+	}
+	if err := run([]string{"convert", "-in", "synth://nope", "-o", filepath.Join(dir, "x.tgds")}, &out); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+	if err := run([]string{"inspect", "-data", "file://" + filepath.Join(dir, "missing.tgds")}, &out); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

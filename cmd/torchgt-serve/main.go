@@ -6,6 +6,7 @@
 // Usage:
 //
 //	torchgt-serve -dataset arxiv-sim -nodes 2048 -epochs 10            # load sweep
+//	torchgt-serve -data file://real.tgds -epochs 10                   # serve ingested data
 //	torchgt-serve -snapshot model.snap -http :8080                    # HTTP serving
 //	torchgt-serve -epochs 10 -save-snapshot model.snap -loads 200,800 # train, save, sweep
 package main
@@ -32,7 +33,8 @@ func fail(err error) {
 }
 
 func main() {
-	dataset := flag.String("dataset", "arxiv-sim", "node-level dataset name")
+	dataSpec := flag.String("data", "", "node-level dataset spec (synth://, file://, edgelist://); overrides -dataset")
+	dataset := flag.String("dataset", "arxiv-sim", "synthetic node-level dataset name")
 	nodes := flag.Int("nodes", 2048, "node count (0 = preset size)")
 	seed := flag.Int64("seed", 1, "random seed")
 	method := flag.String("method", "torchgt", "training method for the quick train")
@@ -56,8 +58,17 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	ds, err := torchgt.LoadNodeDataset(*dataset, *nodes, *seed)
-	if err != nil {
+	var ds *torchgt.NodeDataset
+	if *dataSpec != "" {
+		d, err := torchgt.OpenDataset(*dataSpec)
+		if err != nil {
+			fail(err)
+		}
+		if d.Node == nil {
+			fail(fmt.Errorf("-data %s is a graph-level dataset; serving needs a node dataset", *dataSpec))
+		}
+		ds = d.Node
+	} else if ds, err = torchgt.LoadNodeDataset(*dataset, *nodes, *seed); err != nil {
 		fail(err)
 	}
 
@@ -73,7 +84,7 @@ func main() {
 			fail(err)
 		}
 		cfg := torchgt.GraphormerSlim(ds.X.Cols, ds.NumClasses, *seed)
-		fmt.Printf("training %s on %s (%d nodes) for %d epochs...\n", cfg.Name, *dataset, ds.G.N, *epochs)
+		fmt.Printf("training %s on %s (%d nodes) for %d epochs...\n", cfg.Name, ds.Name, ds.G.N, *epochs)
 		var res *torchgt.Result
 		res, snap, err = torchgt.TrainNodeSnapshot(tm, cfg, ds, torchgt.TrainOptions{
 			Epochs: *epochs, LR: 2e-3, Seed: *seed,

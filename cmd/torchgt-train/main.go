@@ -6,16 +6,20 @@
 // Usage:
 //
 //	torchgt-train -dataset arxiv-sim -model gph-slim -method torchgt -epochs 20
-//	torchgt-train -dataset zinc-sim -model gt -method gp-sparse
+//	torchgt-train -data "edgelist://edges.csv?labels=labels.csv" -epochs 20
+//	torchgt-train -data "synth://products-sim?subsample=2048&selfloops=1"
+//	torchgt-train -data file://real.tgds -model gt -method gp-sparse
 //	torchgt-train -checkpoint-dir ckpts -checkpoint-every 5 -epochs 100
-//	torchgt-train -resume ckpts/epoch-00010.ckpt -dataset arxiv-sim
+//	torchgt-train -resume ckpts/epoch-00010.ckpt
 //	torchgt-train -seqlen 512 -patience 8
 //	torchgt-train -seqpar 4 -method torchgt
 //
-// -seqpar P trains under the simulated sequence-parallel execution plan
-// (P ranks resharding sequence↔heads through channel all-to-alls). The
-// trajectory is bitwise identical to the serial run, so every other feature
-// — events, checkpoints, resume, early stopping — composes with it.
+// -data accepts any dataset spec (see torchgt-data list); the session
+// records the spec in checkpoints, so -resume needs no dataset flags at
+// all. -seqpar P trains under the simulated sequence-parallel execution
+// plan (P ranks resharding sequence↔heads through channel all-to-alls).
+// The trajectory is bitwise identical to the serial run, so every other
+// feature — events, checkpoints, resume, early stopping — composes with it.
 package main
 
 import (
@@ -32,37 +36,40 @@ import (
 	"torchgt"
 )
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "torchgt-train:", err)
-	os.Exit(1)
-}
-
 func main() {
-	dataset := flag.String("dataset", "arxiv-sim", "dataset name (node- or graph-level)")
-	modelName := flag.String("model", "gph-slim", "gph-slim | gph-large | gt | nodeformer")
-	method := flag.String("method", "torchgt", "gp-raw | gp-flash | gp-sparse | torchgt | torchgt-bf16 | nodeformer")
-	epochs := flag.Int("epochs", 20, "training epochs")
-	nodes := flag.Int("nodes", 2048, "node count for node-level datasets (0 = preset)")
-	lr := flag.Float64("lr", 2e-3, "learning rate")
-	seed := flag.Int64("seed", 1, "random seed")
-	seqLen := flag.Int("seqlen", 0, "mini-batched sequence length (node-level; 0 = full-graph sequence)")
-	seqPar := flag.Int("seqpar", 1, "sequence-parallel ranks (simulated; bitwise-identical to serial, heads must divide)")
-	execWorkers := flag.Int("exec-workers", 0, "attention-head parallelism (0 = all cores)")
-	unpooled := flag.Bool("unpooled", false, "disable workspace pooling (debug/benchmark)")
-	patience := flag.Int("patience", 0, "early-stopping patience in epochs (0 = off)")
-	ckptDir := flag.String("checkpoint-dir", "", "write periodic checkpoints into this directory (also the SIGINT checkpoint)")
-	ckptEvery := flag.Int("checkpoint-every", 10, "checkpoint period in epochs (with -checkpoint-dir)")
-	resume := flag.String("resume", "", "resume from a checkpoint file instead of starting fresh")
-	flag.Parse()
-
-	// SIGINT/SIGTERM stop training at the next step boundary; the partial
-	// run is checkpointed (with -checkpoint-dir) before exiting.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "torchgt-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("torchgt-train", flag.ContinueOnError)
+	dataSpec := fs.String("data", "", "dataset spec (synth://, file://, edgelist://, jsonl://); overrides -dataset")
+	dataset := fs.String("dataset", "arxiv-sim", "synthetic dataset name (node- or graph-level)")
+	modelName := fs.String("model", "gph-slim", "gph-slim | gph-large | gt | nodeformer")
+	method := fs.String("method", "torchgt", "gp-raw | gp-flash | gp-sparse | torchgt | torchgt-bf16 | nodeformer")
+	epochs := fs.Int("epochs", 20, "training epochs")
+	nodes := fs.Int("nodes", 2048, "node count for synthetic node-level datasets (0 = preset)")
+	lr := fs.Float64("lr", 2e-3, "learning rate")
+	seed := fs.Int64("seed", 1, "random seed")
+	seqLen := fs.Int("seqlen", 0, "mini-batched sequence length (node-level; 0 = full-graph sequence)")
+	seqPar := fs.Int("seqpar", 1, "sequence-parallel ranks (simulated; bitwise-identical to serial, heads must divide)")
+	execWorkers := fs.Int("exec-workers", 0, "attention-head parallelism (0 = all cores)")
+	unpooled := fs.Bool("unpooled", false, "disable workspace pooling (debug/benchmark)")
+	patience := fs.Int("patience", 0, "early-stopping patience in epochs (0 = off)")
+	ckptDir := fs.String("checkpoint-dir", "", "write periodic checkpoints into this directory (also the SIGINT checkpoint)")
+	ckptEvery := fs.Int("checkpoint-every", 10, "checkpoint period in epochs (with -checkpoint-dir)")
+	resume := fs.String("resume", "", "resume from a checkpoint file instead of starting fresh")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	m, err := torchgt.ParseMethod(*method)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	cfgFor := func(in, out int) torchgt.ModelConfig {
 		switch *modelName {
@@ -79,7 +86,7 @@ func main() {
 	// When resuming, flags left at their defaults must not override the
 	// checkpoint's configuration — only explicitly-given flags do.
 	given := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { given[f.Name] = true })
+	fs.Visit(func(f *flag.Flag) { given[f.Name] = true })
 	fresh := *resume == ""
 
 	opts := []torchgt.SessionOption{torchgt.WithEventSink(printEvents)}
@@ -100,88 +107,131 @@ func main() {
 	addIf(fresh && *seqPar > 1, torchgt.WithSeqParallel(*seqPar))
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
-			fail(err)
+			return err
 		}
 		opts = append(opts, torchgt.WithCheckpointEvery(*ckptEvery, *ckptDir))
 	}
 
-	isGraphLevel := false
-	for _, n := range torchgt.GraphDatasetNames() {
-		if n == *dataset {
-			isGraphLevel = true
-		}
+	// Resolve the task. Preference order: an explicit -data spec, then the
+	// spec recorded in the -resume checkpoint, then the legacy
+	// -dataset/-nodes synthetic path.
+	task, err := resolveTask(*dataSpec, *dataset, *nodes, *seed, *seqLen, given)
+	if err != nil {
+		return err
 	}
-	var sess *torchgt.Session
-	var task torchgt.TaskSpec
-	if isGraphLevel {
-		ds, err := torchgt.LoadGraphDataset(*dataset, *seed)
+	if !fresh && task.Data() == nil {
+		// no dataset flags given: the checkpoint's recorded spec carries it
+		sess, err := torchgt.ResumeSessionFromSpec(*resume, opts...)
 		if err != nil {
-			fail(err)
+			return fmt.Errorf("%w (pass -data or -dataset to supply the dataset explicitly)", err)
 		}
-		outDim := ds.NumClasses
+		fmt.Printf("resumed %s at epoch %d (dataset re-opened from the recorded spec)\n", *resume, sess.Epoch())
+		return finish(ctx, sess, *ckptDir)
+	}
+
+	d := task.Data()
+	if gd := d.Graph; gd != nil {
+		outDim := gd.NumClasses
 		if outDim == 0 {
 			outDim = 1
 		}
-		task = torchgt.GraphLevelTask(ds)
-		sess = openSession(*resume, m, cfgFor(ds.FeatDim, outDim), task, opts)
-		runSession(ctx, sess, *ckptDir)
+		sess, err := openSession(*resume, m, cfgFor(gd.FeatDim, outDim), task, opts)
+		if err != nil {
+			return err
+		}
+		if err := finish(ctx, sess, *ckptDir); err != nil {
+			return err
+		}
 		if mae := sess.EvalMAE(); mae > 0 {
 			fmt.Printf("final test MAE: %.4f\n", mae)
 		} else {
 			fmt.Printf("final test accuracy: %.2f%%\n", sess.Result().FinalTestAcc*100)
 		}
-		return
+		return nil
 	}
 
-	ds, err := torchgt.LoadNodeDataset(*dataset, *nodes, *seed)
+	nd := d.Node
+	sess, err := openSession(*resume, m, cfgFor(nd.X.Cols, nd.NumClasses), task, opts)
 	if err != nil {
-		fail(fmt.Errorf("%w (datasets: %s, %s)", err,
-			strings.Join(torchgt.NodeDatasetNames(), ", "),
-			strings.Join(torchgt.GraphDatasetNames(), ", ")))
+		return err
 	}
-	cfg := cfgFor(ds.X.Cols, ds.NumClasses)
-	if *seqLen > 0 {
-		task = torchgt.NodeSeqTask(ds)
-	} else {
-		task = torchgt.NodeTask(ds)
+	if err := finish(ctx, sess, *ckptDir); err != nil {
+		return err
 	}
-	sess = openSession(*resume, m, cfg, task, opts)
-	runSession(ctx, sess, *ckptDir)
 	res := sess.Result()
 	fmt.Printf("final test accuracy: %.2f%%  (preprocess %.3fs, avg epoch %.3fs)\n",
 		res.FinalTestAcc*100, res.PreprocessTime.Seconds(), res.AvgEpochTime.Seconds())
 	if cb := sess.CommBytes(); cb > 0 {
 		fmt.Printf("sequence-parallel collective traffic: %.1f MB\n", float64(cb)/(1<<20))
 	}
+	return nil
 }
 
-// openSession builds a fresh session or resumes a checkpoint.
-func openSession(resume string, m torchgt.Method, cfg torchgt.ModelConfig, task torchgt.TaskSpec, opts []torchgt.SessionOption) *torchgt.Session {
+// resolveTask builds the TaskSpec from the dataset flags. It returns the
+// zero TaskSpec when resuming without dataset flags (the checkpoint's
+// recorded spec takes over).
+func resolveTask(dataSpec, dataset string, nodes int, seed int64, seqLen int, given map[string]bool) (torchgt.TaskSpec, error) {
+	if dataSpec != "" {
+		task, err := torchgt.TaskFromSpec(dataSpec)
+		if err != nil {
+			return torchgt.TaskSpec{}, err
+		}
+		if seqLen > 0 && task.Data().Node != nil {
+			return task.Seq() // same opened dataset, sequence regime
+		}
+		return task, nil
+	}
+	if !given["dataset"] && !given["nodes"] && given["resume"] {
+		return torchgt.TaskSpec{}, nil
+	}
+	for _, n := range torchgt.GraphDatasetNames() {
+		if n == dataset {
+			return torchgt.GraphLevelTaskFromSpec(fmt.Sprintf("synth://%s?seed=%d", dataset, seed))
+		}
+	}
+	spec := fmt.Sprintf("synth://%s?seed=%d", dataset, seed)
+	if nodes > 0 {
+		spec = fmt.Sprintf("synth://%s?nodes=%d&seed=%d", dataset, nodes, seed)
+	}
+	var task torchgt.TaskSpec
+	var err error
+	if seqLen > 0 {
+		task, err = torchgt.NodeSeqTaskFromSpec(spec)
+	} else {
+		task, err = torchgt.NodeTaskFromSpec(spec)
+	}
+	if err != nil {
+		return torchgt.TaskSpec{}, fmt.Errorf("%w (datasets: %s, %s)", err,
+			strings.Join(torchgt.NodeDatasetNames(), ", "),
+			strings.Join(torchgt.GraphDatasetNames(), ", "))
+	}
+	return task, nil
+}
+
+// openSession builds a fresh session or resumes a checkpoint with an
+// explicitly supplied task.
+func openSession(resume string, m torchgt.Method, cfg torchgt.ModelConfig, task torchgt.TaskSpec, opts []torchgt.SessionOption) (*torchgt.Session, error) {
 	if resume != "" {
 		s, err := torchgt.ResumeSession(resume, task, opts...)
 		if err != nil {
-			fail(err)
+			return nil, err
 		}
 		fmt.Printf("resumed %s at epoch %d\n", resume, s.Epoch())
-		return s
+		return s, nil
 	}
-	s, err := torchgt.NewSession(m, cfg, task, opts...)
-	if err != nil {
-		fail(err)
-	}
-	return s
+	return torchgt.NewSession(m, cfg, task, opts...)
 }
 
-// runSession drives the session; on SIGINT it checkpoints the partial run
+// finish drives the session; on SIGINT it checkpoints the partial run
 // (when -checkpoint-dir is set) and exits cleanly.
-func runSession(ctx context.Context, sess *torchgt.Session, ckptDir string) {
+func finish(ctx context.Context, sess *torchgt.Session, ckptDir string) error {
 	fmt.Println("epoch  loss      test-acc  epoch-time")
 	_, err := sess.Run(ctx)
 	if err == nil {
-		return
+		return nil
 	}
 	if !errors.Is(err, context.Canceled) {
-		fail(err)
+		return err
 	}
 	fmt.Printf("\ninterrupted at epoch %d\n", sess.Epoch())
 	if ckptDir == "" {
@@ -190,10 +240,11 @@ func runSession(ctx context.Context, sess *torchgt.Session, ckptDir string) {
 	}
 	path := filepath.Join(ckptDir, "interrupted.ckpt")
 	if err := sess.Checkpoint(path); err != nil {
-		fail(err)
+		return err
 	}
 	fmt.Printf("checkpoint written to %s (resume with -resume %s)\n", path, path)
 	os.Exit(130)
+	return nil
 }
 
 // printEvents streams session events as they happen.

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"torchgt"
+)
+
+// writeCommunityCSV writes an edge-list + labels fixture: two clusters
+// wired as rings with sparse cross-links, labelled by cluster.
+func writeCommunityCSV(t *testing.T, dir string) (edges, labels string) {
+	t.Helper()
+	const half = 60
+	var eb, lb strings.Builder
+	eb.WriteString("src,dst\n")
+	for c := 0; c < 2; c++ {
+		base := c * half
+		for i := 0; i < half; i++ {
+			fmt.Fprintf(&eb, "%d,%d\n", base+i, base+(i+1)%half)
+			fmt.Fprintf(&eb, "%d,%d\n", base+i, base+(i+7)%half)
+			fmt.Fprintf(&lb, "%d,%d\n", base+i, c)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&eb, "%d,%d\n", i*9, half+i*9)
+	}
+	edges = filepath.Join(dir, "edges.csv")
+	labels = filepath.Join(dir, "labels.csv")
+	if err := os.WriteFile(edges, []byte(eb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(labels, []byte(lb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return edges, labels
+}
+
+// TestTrainFromEdgeListSpec is the CLI acceptance path: a generated CSV
+// fixture trains two epochs end-to-end through Session via a -data spec
+// string.
+func TestTrainFromEdgeListSpec(t *testing.T) {
+	dir := t.TempDir()
+	edges, labels := writeCommunityCSV(t, dir)
+	spec := fmt.Sprintf("edgelist://%s?labels=%s&featdim=8&seed=3", edges, labels)
+	err := run(context.Background(), []string{
+		"-data", spec, "-epochs", "2", "-method", "gp-sparse", "-model", "gph-slim", "-seed", "3",
+	})
+	if err != nil {
+		t.Fatalf("train via -data spec: %v", err)
+	}
+}
+
+// TestTrainDataSpecCheckpointResume drives -data training with periodic
+// checkpoints, then resumes from the checkpoint with NO dataset flags: the
+// spec recorded in the checkpoint re-opens the data.
+func TestTrainDataSpecCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	edges, labels := writeCommunityCSV(t, dir)
+	spec := fmt.Sprintf("edgelist://%s?labels=%s&featdim=8&seed=3", edges, labels)
+	ckpts := filepath.Join(dir, "ckpts")
+	err := run(context.Background(), []string{
+		"-data", spec, "-epochs", "4", "-method", "gp-flash", "-seed", "3",
+		"-checkpoint-dir", ckpts, "-checkpoint-every", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(ckpts, "epoch-00002.ckpt")
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("periodic checkpoint missing: %v", err)
+	}
+	// no -data, no -dataset: resume must re-open the recorded spec
+	if err := run(context.Background(), []string{"-resume", ckpt, "-epochs", "4"}); err != nil {
+		t.Fatalf("spec-based resume: %v", err)
+	}
+}
+
+// TestTrainFromTGDSAndGraphLevelSpecs covers the remaining -data kinds:
+// a converted tGDS container and a graph-level synth spec.
+func TestTrainFromTGDSAndGraphLevelSpecs(t *testing.T) {
+	dir := t.TempDir()
+	d, err := torchgt.OpenDataset("synth://arxiv-sim?nodes=96&seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgds := filepath.Join(dir, "a.tgds")
+	if err := torchgt.SaveDataset(tgds, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{
+		"-data", "file://" + tgds, "-epochs", "1", "-method", "gp-flash", "-seed", "5",
+	}); err != nil {
+		t.Fatalf("train from tGDS: %v", err)
+	}
+	if err := run(context.Background(), []string{
+		"-data", "synth://zinc-sim?subsample=24&seed=5", "-epochs", "1", "-method", "gp-flash", "-seed", "5",
+	}); err != nil {
+		t.Fatalf("train graph-level spec: %v", err)
+	}
+	if err := run(context.Background(), []string{"-data", "synth://no-such"}); err == nil {
+		t.Fatal("unknown spec must error")
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"torchgt/internal/data"
+	"torchgt/internal/graph"
+)
+
+// The experiment harness loads its node-level datasets through loadNode so
+// one override point serves every experiment: SetNodeDataSpec points the
+// whole harness at a user-supplied dataset spec (torchgt-bench -data), and
+// experiments keep their per-experiment scale by subsampling the override
+// when it is larger than the size they ask for.
+var (
+	dataMu       sync.Mutex
+	nodeSpec     string
+	nodeSpecBase *data.Dataset // the opened override, cached across experiments
+)
+
+// SetNodeDataSpec routes every experiment's node-level dataset through the
+// given spec ("" restores the built-in synthetic presets). The spec must
+// resolve to a node dataset; resolution errors surface on the first
+// experiment that loads data.
+func SetNodeDataSpec(spec string) {
+	dataMu.Lock()
+	defer dataMu.Unlock()
+	nodeSpec = spec
+	nodeSpecBase = nil
+}
+
+// loadNode returns the node dataset an experiment trains on: the named
+// synthetic preset by default, or the override spec (subsampled to the
+// experiment's requested node count when larger — through the same
+// transform the spec grammar exposes, seeded by the experiment seed so
+// distinct experiments see distinct samples).
+func loadNode(name string, nodes int, seed int64) (*graph.NodeDataset, error) {
+	dataMu.Lock()
+	defer dataMu.Unlock()
+	if nodeSpec == "" {
+		return graph.LoadNodeScaled(name, nodes, seed)
+	}
+	if nodeSpecBase == nil {
+		d, err := data.OpenString(nodeSpec)
+		if err != nil {
+			return nil, fmt.Errorf("bench: opening -data spec: %w", err)
+		}
+		if d.Node == nil {
+			return nil, fmt.Errorf("bench: -data spec %s is a graph-level dataset; experiments need a node dataset", nodeSpec)
+		}
+		nodeSpecBase = d
+	}
+	if nodes > 0 && nodeSpecBase.Node.G.N > nodes {
+		d, err := data.Apply(nodeSpecBase, data.Subsample(nodes, seed))
+		if err != nil {
+			return nil, err
+		}
+		return d.Node, nil
+	}
+	return nodeSpecBase.Node, nil
+}

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+func TestLoadNodeOverride(t *testing.T) {
+	defer SetNodeDataSpec("")
+
+	SetNodeDataSpec("synth://arxiv-sim?nodes=256&seed=1")
+	ds, err := loadNode("products-sim", 128, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "arxiv-sim" || ds.G.N != 128 {
+		t.Fatalf("override not applied: %q with %d nodes", ds.Name, ds.G.N)
+	}
+	full, err := loadNode("products-sim", 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.G.N != 256 {
+		t.Fatalf("unsubsampled override has %d nodes", full.G.N)
+	}
+
+	SetNodeDataSpec("")
+	ds2, err := loadNode("products-sim", 128, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Name != "products-sim" {
+		t.Fatalf("override not cleared: %q", ds2.Name)
+	}
+
+	SetNodeDataSpec("synth://zinc-sim")
+	if _, err := loadNode("arxiv-sim", 64, 1); err == nil {
+		t.Fatal("graph-level override must error")
+	}
+	SetNodeDataSpec("synth://no-such")
+	if _, err := loadNode("arxiv-sim", 64, 1); err == nil {
+		t.Fatal("unresolvable override must error")
+	}
+}

@@ -34,7 +34,7 @@ func runAblationInterleave(ctx context.Context, w io.Writer, scale Scale) error 
 	if scale == ScaleSmoke {
 		nodes, epochs = 512, 6
 	}
-	ds, err := graph.LoadNodeScaled("arxiv-sim", nodes, 63)
+	ds, err := loadNode("arxiv-sim", nodes, 63)
 	if err != nil {
 		return err
 	}
@@ -198,7 +198,10 @@ func runAblationSampling(ctx context.Context, w io.Writer, scale Scale) error {
 	ego := train.NewEgoTrainer(train.EgoConfig{
 		Epochs: egoEpochs, LR: 2e-3, Hops: 2, MaxSize: 16, Batch: batch, Seed: 77,
 	}, cfg, ds)
-	egoRes := ego.Run()
+	egoRes, err := ego.Run()
+	if err != nil {
+		return err
+	}
 
 	long := train.NewNodeTrainer(train.NodeConfig{
 		Method: train.TorchGT, Epochs: egoSteps, LR: 2e-3, FixedBeta: -1, Seed: 77,
@@ -229,7 +232,7 @@ func runAblationBigBird(ctx context.Context, w io.Writer, scale Scale) error {
 	if scale == ScaleSmoke {
 		nodes, epochs = 512, 6
 	}
-	ds, err := graph.LoadNodeScaled("arxiv-sim", nodes, 81)
+	ds, err := loadNode("arxiv-sim", nodes, 81)
 	if err != nil {
 		return err
 	}

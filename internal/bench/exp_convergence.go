@@ -67,7 +67,7 @@ func runFig8(ctx context.Context, w io.Writer, scale Scale) error {
 		cases = cases[:1]
 	}
 	for _, cse := range cases {
-		ds, err := graph.LoadNodeScaled(cse.ds, nodes, 51)
+		ds, err := loadNode(cse.ds, nodes, 51)
 		if err != nil {
 			return err
 		}
@@ -100,7 +100,7 @@ func runFig10(ctx context.Context, w io.Writer, scale Scale) error {
 	if scale == ScaleSmoke {
 		nodes, epochs = 512, 6
 	}
-	ds, err := graph.LoadNodeScaled("arxiv-sim", nodes, 55)
+	ds, err := loadNode("arxiv-sim", nodes, 55)
 	if err != nil {
 		return err
 	}

@@ -7,7 +7,6 @@ import (
 
 	"torchgt/internal/dist"
 	"torchgt/internal/gpusim"
-	"torchgt/internal/graph"
 	"torchgt/internal/model"
 	"torchgt/internal/partition"
 	"torchgt/internal/sparse"
@@ -51,7 +50,7 @@ func runTable5(ctx context.Context, w io.Writer, scale Scale) error {
 	for _, mname := range []string{"gph-slim", "gt"} {
 		tb := &table{header: []string{"dataset", "method", "tepoch(s)", "sim-3090 tepoch(s)", "test acc", "speedup"}}
 		for _, dsName := range datasets {
-			ds, err := graph.LoadNodeScaled(dsName, nodes, 31)
+			ds, err := loadNode(dsName, nodes, 31)
 			if err != nil {
 				return err
 			}
@@ -131,7 +130,7 @@ func runTable7(ctx context.Context, w io.Writer, scale Scale) error {
 	}
 	tb := &table{header: []string{"dataset", "method", "tepoch(s)", "test acc"}}
 	for _, dsName := range datasets {
-		ds, err := graph.LoadNodeScaled(dsName, nodes, 35)
+		ds, err := loadNode(dsName, nodes, 35)
 		if err != nil {
 			return err
 		}
@@ -165,7 +164,7 @@ func runTable8(ctx context.Context, w io.Writer, scale Scale) error {
 	if scale == ScaleSmoke {
 		nodes, epochs = 512, 5
 	}
-	ds, err := graph.LoadNodeScaled("arxiv-sim", nodes, 39)
+	ds, err := loadNode("arxiv-sim", nodes, 39)
 	if err != nil {
 		return err
 	}
@@ -214,7 +213,7 @@ func runFig6(ctx context.Context, w io.Writer, scale Scale) error {
 	if scale == ScaleSmoke {
 		s = 1024
 	}
-	ds, err := graph.LoadNodeScaled("products-sim", s, 43)
+	ds, err := loadNode("products-sim", s, 43)
 	if err != nil {
 		return err
 	}
@@ -252,7 +251,7 @@ func runPreproc(ctx context.Context, w io.Writer, scale Scale) error {
 	}
 	tb := &table{header: []string{"dataset", "preprocess(s)", "train(s)", "preprocess share"}}
 	for _, dsName := range []string{"arxiv-sim", "products-sim"} {
-		ds, err := graph.LoadNodeScaled(dsName, nodes, 45)
+		ds, err := loadNode(dsName, nodes, 45)
 		if err != nil {
 			return err
 		}

@@ -25,7 +25,7 @@ func runTable1(ctx context.Context, w io.Writer, scale Scale) error {
 	if scale == ScaleSmoke {
 		nodes, epochs, graphs, gEpochs = 384, 15, 60, 6
 	}
-	nodeDS, err := graph.LoadNodeScaled("flickr-sim", nodes, 1)
+	nodeDS, err := loadNode("flickr-sim", nodes, 1)
 	if err != nil {
 		return err
 	}

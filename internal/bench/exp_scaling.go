@@ -7,7 +7,6 @@ import (
 
 	"torchgt/internal/dist"
 	"torchgt/internal/encoding"
-	"torchgt/internal/graph"
 	"torchgt/internal/model"
 	"torchgt/internal/nn"
 	"torchgt/internal/sparse"
@@ -97,7 +96,7 @@ func runDist(ctx context.Context, w io.Writer, scale Scale) error {
 	if scale == ScaleSmoke {
 		nodes, steps = 256, 2
 	}
-	ds, err := graph.LoadNodeScaled("arxiv-sim", nodes, 49)
+	ds, err := loadNode("arxiv-sim", nodes, 49)
 	if err != nil {
 		return err
 	}

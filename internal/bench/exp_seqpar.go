@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"torchgt/internal/dist"
-	"torchgt/internal/graph"
 	"torchgt/internal/model"
 	"torchgt/internal/train"
 )
@@ -32,7 +31,7 @@ func runSeqPar(ctx context.Context, w io.Writer, scale Scale) error {
 	if scale == ScaleSmoke {
 		nodes, epochs = 256, 2
 	}
-	ds, err := graph.LoadNodeScaled("arxiv-sim", nodes, 61)
+	ds, err := loadNode("arxiv-sim", nodes, 61)
 	if err != nil {
 		return err
 	}

@@ -6,7 +6,6 @@ import (
 	"io"
 	"time"
 
-	"torchgt/internal/graph"
 	"torchgt/internal/model"
 	"torchgt/internal/serve"
 	"torchgt/internal/train"
@@ -31,7 +30,7 @@ func runServe(ctx context.Context, w io.Writer, scale Scale) error {
 	if scale == ScaleSmoke {
 		nodes, epochs, dur = 384, 2, 300*time.Millisecond
 	}
-	ds, err := graph.LoadNodeScaled("arxiv-sim", nodes, 71)
+	ds, err := loadNode("arxiv-sim", nodes, 71)
 	if err != nil {
 		return err
 	}

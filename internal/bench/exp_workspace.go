@@ -92,7 +92,7 @@ func runWorkspace(ctx context.Context, w io.Writer, scale Scale) error {
 	if scale == ScaleSmoke {
 		nodes, epochs = 256, 2
 	}
-	ds, err := graph.LoadNodeScaled("arxiv-sim", nodes, 51)
+	ds, err := loadNode("arxiv-sim", nodes, 51)
 	if err != nil {
 		return err
 	}

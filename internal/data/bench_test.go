@@ -1,0 +1,50 @@
+package data
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkOpenSpec measures the full spec path — parse, registry lookup,
+// synthetic generation, transform stage — at a small fixed size. The CI
+// baseline bounds allocs/op so accidental per-open overhead (spec
+// re-parsing in a loop, copied arrays in pass-through transforms) shows up
+// as a regression.
+func BenchmarkOpenSpec(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := OpenString("synth://arxiv-sim?nodes=256&seed=1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestEdgeListStream pins the constant-memory claim of the
+// streaming edge-list scanner: parsing 4096 lines must cost a fixed number
+// of allocations (the scanner's buffer), NOT one per line — the CI
+// baseline fails the build if per-line allocation creeps in.
+func BenchmarkIngestEdgeListStream(b *testing.B) {
+	var src bytes.Buffer
+	src.WriteString("src,dst\n")
+	for i := 0; i < 4096; i++ {
+		fmt.Fprintf(&src, "%d,%d\n", i, (i+7)%4096)
+	}
+	raw := src.Bytes()
+	edges := make([][2]int32, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		edges = edges[:0]
+		err := scanEdges(bytes.NewReader(raw), func(u, v int32) error {
+			edges = append(edges, [2]int32{u, v})
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(edges) != 4096 {
+			b.Fatalf("parsed %d edges", len(edges))
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package data
+
+import (
+	"fmt"
+	"testing"
+
+	"torchgt/internal/graph"
+)
+
+// TestSynthNodeBitwiseEquivalence pins the registry redesign's compatibility
+// contract: every node preset opened through a synth:// spec is
+// bitwise-identical — fields, masks, CSR arrays — to the pre-redesign
+// loader (graph.LoadNodeScaled, which the frozen LoadNodeDataset wrapper
+// used to call directly) at the same name, node count and seed.
+func TestSynthNodeBitwiseEquivalence(t *testing.T) {
+	for _, name := range graph.NodeDatasetNames() {
+		for _, seed := range []int64{1, 42} {
+			legacy, err := graph.LoadNodeScaled(name, 192, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaSpec, err := OpenNode(fmt.Sprintf("synth://%s?nodes=192&seed=%d", name, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Run(fmt.Sprintf("%s-seed%d", name, seed), func(t *testing.T) {
+				nodeEqual(t, legacy, viaSpec)
+			})
+		}
+	}
+}
+
+// TestSynthGraphLevelBitwiseEquivalence is the graph-level counterpart:
+// every preset matches graph.LoadGraphLevel bitwise (graphs, features,
+// labels/targets, splits).
+func TestSynthGraphLevelBitwiseEquivalence(t *testing.T) {
+	names := graph.GraphLevelDatasetNames()
+	if testing.Short() {
+		names = names[:2] // malnet-sim generates 120 larger graphs; full-suite covers it
+	}
+	for _, name := range names {
+		legacy, err := graph.LoadGraphLevel(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaSpec, err := OpenGraphLevel(fmt.Sprintf("synth://%s?seed=3", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			graphLevelEqual(t, legacy, viaSpec)
+		})
+	}
+}

@@ -1,0 +1,228 @@
+package data
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"torchgt/internal/graph"
+)
+
+// writeRingFixture writes a CSV edge list (with header and comments) for a
+// ring of n nodes plus a labels file colouring nodes by parity.
+func writeRingFixture(t *testing.T, dir string, n int) (edges, labels string) {
+	t.Helper()
+	var eb, lb strings.Builder
+	eb.WriteString("src,dst\n# ring fixture\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&eb, "%d,%d\n", i, (i+1)%n)
+		fmt.Fprintf(&lb, "%d,%d\n", i, i%2)
+	}
+	edges = filepath.Join(dir, "edges.csv")
+	labels = filepath.Join(dir, "labels.csv")
+	if err := os.WriteFile(edges, []byte(eb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(labels, []byte(lb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return edges, labels
+}
+
+func TestEdgeListIngestion(t *testing.T) {
+	dir := t.TempDir()
+	edges, labels := writeRingFixture(t, dir, 40)
+	spec := fmt.Sprintf("edgelist://%s?labels=%s&featdim=8&seed=3", edges, labels)
+	nd, err := OpenNode(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.G.N != 40 || nd.G.NumEdges() != 80 { // undirected by default
+		t.Fatalf("ring ingested as %d nodes / %d edges", nd.G.N, nd.G.NumEdges())
+	}
+	if nd.Name != "edges" {
+		t.Fatalf("name %q", nd.Name)
+	}
+	if nd.NumClasses != 2 {
+		t.Fatalf("classes %d", nd.NumClasses)
+	}
+	if nd.X.Cols != 8 {
+		t.Fatalf("featdim %d", nd.X.Cols)
+	}
+	for i := range nd.Y {
+		if nd.Y[i] != int32(i%2) {
+			t.Fatalf("label of node %d lost", i)
+		}
+	}
+	if err := nd.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nTrain := 0
+	for _, m := range nd.TrainMask {
+		if m {
+			nTrain++
+		}
+	}
+	if nTrain == 0 || nTrain == nd.G.N {
+		t.Fatalf("degenerate split: %d train of %d", nTrain, nd.G.N)
+	}
+
+	// determinism contract: same spec, bitwise-same dataset
+	nd2, err := OpenNode(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeEqual(t, nd, nd2)
+
+	// directed + explicit features
+	var fb strings.Builder
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&fb, "%d,%d.5,%d\n", i, i, -i)
+	}
+	feats := filepath.Join(dir, "feats.csv")
+	if err := os.WriteFile(feats, []byte(fb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nd3, err := OpenNode(fmt.Sprintf("edgelist://%s?undirected=0&features=%s&name=ringd", edges, feats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd3.G.NumEdges() != 40 || nd3.Name != "ringd" || nd3.X.Cols != 2 {
+		t.Fatalf("directed ingest: %d edges, %q, featdim %d", nd3.G.NumEdges(), nd3.Name, nd3.X.Cols)
+	}
+	if nd3.X.At(3, 0) != 3.5 || nd3.X.At(3, 1) != -3 {
+		t.Fatal("feature rows lost")
+	}
+}
+
+func TestEdgeListIngestionErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, tc := range []struct{ label, spec string }{
+		{"missing file", "edgelist://" + filepath.Join(dir, "nope.csv")},
+		{"empty file", "edgelist://" + write("empty.csv", "# nothing\n")},
+		{"short line", "edgelist://" + write("short.csv", "0,1\n2\n")},
+		{"non-numeric after data", "edgelist://" + write("alpha.csv", "0,1\na,b\n")},
+		{"negative id", "edgelist://" + write("neg.csv", "0,1\n-1,2\n")},
+		{"label beyond graph", "edgelist://" + write("e.csv", "0,1\n") + "?labels=" + write("far.csv", "9,1\n")},
+		{"negative label", "edgelist://" + write("e2.csv", "0,1\n") + "?labels=" + write("negl.csv", "0,-2\n")},
+		{"classes below labels", "edgelist://" + write("e3.csv", "0,1\n") + "?classes=1&labels=" + write("l3.csv", "0,4\n")},
+		{"bad fraction", "edgelist://" + write("e4.csv", "0,1\n") + "?trainfrac=0.9&valfrac=0.9"},
+		{"ragged features", "edgelist://" + write("e5.csv", "0,1\n") + "?features=" + write("f5.csv", "0,1.0,2.0\n1,3.0\n")},
+	} {
+		if _, err := OpenString(tc.spec); err == nil {
+			t.Errorf("%s must error", tc.label)
+		}
+	}
+}
+
+func TestJSONLIngestion(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&b, `{"edges": [[0,1],[1,2],[2,%d]], "label": %d}`+"\n", i%3, i%3)
+	}
+	path := filepath.Join(dir, "cls.jsonl")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := "jsonl://" + path + "?featdim=4&seed=9"
+	gd, err := OpenGraphLevel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.Task != graph.GraphClassification || len(gd.Graphs) != 12 || gd.NumClasses != 3 || gd.FeatDim != 4 {
+		t.Fatalf("ingested task=%v graphs=%d classes=%d featdim=%d", gd.Task, len(gd.Graphs), gd.NumClasses, gd.FeatDim)
+	}
+	if len(gd.TrainIdx)+len(gd.ValIdx)+len(gd.TestIdx) != 12 {
+		t.Fatal("split does not cover the dataset")
+	}
+	for _, g := range gd.Graphs {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gd2, err := OpenGraphLevel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphLevelEqual(t, gd, gd2)
+
+	// regression with explicit features
+	rpath := filepath.Join(dir, "reg.jsonl")
+	reg := `{"edges": [[0,1]], "x": [[1.0,2.0],[3.0,4.0]], "target": 0.5}
+{"n": 3, "edges": [[0,2]], "x": [[1,0],[0,1],[2,2]], "target": -1.25}
+`
+	if err := os.WriteFile(rpath, []byte(reg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenGraphLevel("jsonl://" + rpath + "?task=regression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Task != graph.GraphRegression || len(rd.Targets) != 2 || rd.Targets[1] != -1.25 || rd.FeatDim != 2 {
+		t.Fatalf("regression ingest: %+v", rd)
+	}
+	if rd.Graphs[1].N != 3 {
+		t.Fatal("explicit n lost")
+	}
+}
+
+func TestJSONLIngestionErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, tc := range []struct{ label, spec string }{
+		{"missing file", "jsonl://" + filepath.Join(dir, "nope.jsonl")},
+		{"empty file", "jsonl://" + write("empty.jsonl", "\n# c\n")},
+		{"bad json", "jsonl://" + write("bad.jsonl", "{nope\n")},
+		{"no label or target", "jsonl://" + write("none.jsonl", `{"edges": [[0,1]]}`+"\n")},
+		{"both label and target", "jsonl://" + write("both.jsonl", `{"edges": [[0,1]], "label": 1, "target": 2.0}`+"\n")},
+		{"mixed tasks", "jsonl://" + write("mixed.jsonl", `{"edges": [[0,1]], "label": 1}`+"\n"+`{"edges": [[0,1]], "target": 2.0}`+"\n")},
+		{"label under task=regression", "jsonl://" + write("wrongtask.jsonl", `{"edges": [[0,1]], "label": 1}`+"\n") + "?task=regression"},
+		{"bad task param", "jsonl://" + write("t.jsonl", `{"edges": [[0,1]], "label": 1}`+"\n") + "?task=zzz"},
+		{"negative edge id", "jsonl://" + write("neg.jsonl", `{"edges": [[-1,1]], "label": 1}`+"\n")},
+		{"ragged features", "jsonl://" + write("rag.jsonl", `{"edges": [[0,1]], "x": [[1,2],[3]], "label": 1}`+"\n")},
+		{"feature rows vs nodes", "jsonl://" + write("rows.jsonl", `{"n": 3, "edges": [[0,1]], "x": [[1],[2]], "label": 1}`+"\n")},
+	} {
+		if _, err := OpenString(tc.spec); err == nil {
+			t.Errorf("%s must error", tc.label)
+		}
+	}
+}
+
+func TestScanEdgesConstantShapes(t *testing.T) {
+	in := "src dst\n0 1\n# c\n2;3\n4,\t5\n"
+	var got []graph.Edge
+	err := scanEdges(strings.NewReader(in), func(u, v int32) error {
+		got = append(got, graph.Edge{U: u, V: v})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 4, V: 5}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}

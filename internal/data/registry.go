@@ -1,0 +1,162 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"torchgt/internal/graph"
+)
+
+// Kind distinguishes the two dataset families a provider can produce.
+type Kind int
+
+const (
+	// KindNode is one large graph with per-node labels (NodeDataset).
+	KindNode Kind = iota + 1
+	// KindGraph is a set of small graphs with per-graph targets
+	// (GraphDataset).
+	KindGraph
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNode:
+		return "node"
+	case KindGraph:
+		return "graph-level"
+	}
+	return "unknown"
+}
+
+// Dataset is the union a provider returns: exactly one of Node and Graph is
+// non-nil.
+type Dataset struct {
+	Node  *graph.NodeDataset
+	Graph *graph.GraphDataset
+}
+
+// Kind reports which family the dataset belongs to.
+func (d *Dataset) Kind() Kind {
+	if d.Node != nil {
+		return KindNode
+	}
+	return KindGraph
+}
+
+// Name returns the dataset's name.
+func (d *Dataset) Name() string {
+	if d.Node != nil {
+		return d.Node.Name
+	}
+	if d.Graph != nil {
+		return d.Graph.Name
+	}
+	return ""
+}
+
+// Provider materialises datasets for one spec scheme.
+type Provider interface {
+	// Scheme is the spec scheme the provider answers ("synth", "file", …).
+	Scheme() string
+	// ParamKeys lists the spec parameters the provider understands, so
+	// Open can reject typos ("seed" and the transform parameters are
+	// handled by the registry).
+	ParamKeys() []string
+	// Open materialises the dataset named by sp. Implementations must be
+	// deterministic: the same spec yields a bitwise-identical dataset.
+	Open(sp Spec) (*Dataset, error)
+}
+
+var (
+	regMu     sync.RWMutex
+	providers = map[string]Provider{}
+)
+
+// Register installs a provider for its scheme. Registering a scheme twice
+// is an error (the builtins cannot be shadowed).
+func Register(p Provider) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	s := p.Scheme()
+	if s == "" {
+		return fmt.Errorf("data: provider has an empty scheme")
+	}
+	if _, dup := providers[s]; dup {
+		return fmt.Errorf("data: provider scheme %q already registered", s)
+	}
+	providers[s] = p
+	return nil
+}
+
+// Schemes lists the registered provider schemes, sorted.
+func Schemes() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(providers))
+	for s := range providers {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open resolves sp through the registry: the provider materialises the
+// dataset, then the spec's declarative transforms run over it in their
+// fixed order (see transformsFromSpec).
+func Open(sp Spec) (*Dataset, error) {
+	regMu.RLock()
+	p, ok := providers[sp.Scheme]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("data: no provider for scheme %q (have %v)", sp.Scheme, Schemes())
+	}
+	if err := sp.checkParams(p.ParamKeys()...); err != nil {
+		return nil, err
+	}
+	d, err := p.Open(sp)
+	if err != nil {
+		return nil, err
+	}
+	if d == nil || (d.Node == nil) == (d.Graph == nil) {
+		return nil, fmt.Errorf("data: provider %q returned an invalid dataset for %s", sp.Scheme, sp.String())
+	}
+	ts, err := transformsFromSpec(sp)
+	if err != nil {
+		return nil, err
+	}
+	return Apply(d, ts...)
+}
+
+// OpenString parses and opens a spec in one call.
+func OpenString(s string) (*Dataset, error) {
+	sp, err := ParseSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	return Open(sp)
+}
+
+// OpenNode opens a spec that must resolve to a node-level dataset.
+func OpenNode(s string) (*graph.NodeDataset, error) {
+	d, err := OpenString(s)
+	if err != nil {
+		return nil, err
+	}
+	if d.Node == nil {
+		return nil, fmt.Errorf("data: spec %q is a graph-level dataset, a node dataset is required", s)
+	}
+	return d.Node, nil
+}
+
+// OpenGraphLevel opens a spec that must resolve to a graph-level dataset.
+func OpenGraphLevel(s string) (*graph.GraphDataset, error) {
+	d, err := OpenString(s)
+	if err != nil {
+		return nil, err
+	}
+	if d.Graph == nil {
+		return nil, fmt.Errorf("data: spec %q is a node dataset, a graph-level dataset is required", s)
+	}
+	return d.Graph, nil
+}

@@ -1,0 +1,215 @@
+package data
+
+import (
+	"testing"
+
+	"torchgt/internal/graph"
+)
+
+func TestTransformSelfLoops(t *testing.T) {
+	d, err := OpenString("synth://arxiv-sim?nodes=128&selfloops=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Node.G.N; i++ {
+		if !d.Node.G.HasEdge(int32(i), int32(i)) {
+			t.Fatalf("node %d lacks a self-loop", i)
+		}
+	}
+	gd, err := OpenGraphLevel("synth://zinc-sim?selfloops=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range gd.Graphs {
+		for i := 0; i < g.N; i++ {
+			if !g.HasEdge(int32(i), int32(i)) {
+				t.Fatalf("graph %d node %d lacks a self-loop", gi, i)
+			}
+		}
+	}
+}
+
+func TestTransformSubsampleNode(t *testing.T) {
+	base, err := OpenNode("synth://arxiv-sim?nodes=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := OpenNode("synth://arxiv-sim?nodes=256&subsample=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.G.N != 100 || len(sub.Y) != 100 || sub.X.Rows != 100 || len(sub.TrainMask) != 100 {
+		t.Fatalf("subsample shape: %d nodes", sub.G.N)
+	}
+	if sub.NumClasses != base.NumClasses {
+		t.Fatal("classes changed")
+	}
+	if err := sub.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ≥ size keeps the dataset unchanged
+	same, err := OpenNode("synth://arxiv-sim?nodes=256&subsample=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeEqual(t, base, same)
+}
+
+func TestTransformSubsampleGraphLevel(t *testing.T) {
+	gd, err := OpenGraphLevel("synth://zinc-sim?subsample=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gd.Graphs) != 50 || len(gd.Feats) != 50 || len(gd.Targets) != 50 {
+		t.Fatalf("subsampled to %d graphs / %d targets", len(gd.Graphs), len(gd.Targets))
+	}
+	seen := map[int]bool{}
+	for _, idx := range [][]int{gd.TrainIdx, gd.ValIdx, gd.TestIdx} {
+		for _, i := range idx {
+			if i < 0 || i >= 50 {
+				t.Fatalf("split index %d out of range", i)
+			}
+			if seen[i] {
+				t.Fatalf("split index %d repeated", i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestTransformPermuteNode(t *testing.T) {
+	base, err := OpenNode("synth://arxiv-sim?nodes=128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := OpenNode("synth://arxiv-sim?nodes=128&permute=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm.G.N != base.G.N || perm.G.NumEdges() != base.G.NumEdges() {
+		t.Fatal("permute changed the graph size")
+	}
+	// per-class node counts are invariant under relabelling
+	countBy := func(y []int32) map[int32]int {
+		m := map[int32]int{}
+		for _, v := range y {
+			m[v]++
+		}
+		return m
+	}
+	cb, cp := countBy(base.Y), countBy(perm.Y)
+	for k, v := range cb {
+		if cp[k] != v {
+			t.Fatalf("class %d count changed %d→%d", k, v, cp[k])
+		}
+	}
+	moved := 0
+	for i := range base.Y {
+		if base.Y[i] != perm.Y[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("permutation is the identity")
+	}
+}
+
+func TestTransformResplit(t *testing.T) {
+	nd, err := OpenNode("synth://arxiv-sim?nodes=256&resplit=0.5:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nTrain, nVal := 0, 0
+	for i := range nd.TrainMask {
+		if nd.TrainMask[i] {
+			nTrain++
+		}
+		if nd.ValMask[i] {
+			nVal++
+		}
+	}
+	if nTrain < 80 || nTrain > 176 || nVal < 32 || nVal > 96 {
+		t.Fatalf("resplit fractions off: train %d val %d of 256", nTrain, nVal)
+	}
+	gd, err := OpenGraphLevel("synth://zinc-sim?resplit=0.5:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gd.TrainIdx) != 300 || len(gd.ValIdx) != 150 || len(gd.TestIdx) != 150 {
+		t.Fatalf("graph-level resplit: %d/%d/%d", len(gd.TrainIdx), len(gd.ValIdx), len(gd.TestIdx))
+	}
+	for _, bad := range []string{
+		"synth://arxiv-sim?nodes=64&resplit=0.9",
+		"synth://arxiv-sim?nodes=64&resplit=0.9:x",
+		"synth://arxiv-sim?nodes=64&resplit=0.9:0.5",
+		"synth://arxiv-sim?nodes=64&subsample=0",
+		"synth://arxiv-sim?nodes=64&selfloops=maybe",
+	} {
+		if _, err := OpenString(bad); err == nil {
+			t.Errorf("spec %q must error", bad)
+		}
+	}
+}
+
+// TestTransformPipelineDeterminism pins the full pipeline contract: a spec
+// combining every transform opens to a bitwise-identical dataset each time,
+// and its canonical string re-opens to the same dataset.
+func TestTransformPipelineDeterminism(t *testing.T) {
+	spec := "synth://products-sim?nodes=300&subsample=200&selfloops=1&permute=1&resplit=0.7:0.1&seed=21"
+	a, err := OpenNode(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenNode(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeEqual(t, a, b)
+	sp, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenNode(sp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeEqual(t, a, c)
+	if a.G.N != 200 {
+		t.Fatalf("pipeline size %d", a.G.N)
+	}
+}
+
+// TestApplyProgrammatic exercises the Transform values directly (the
+// non-declarative path registered providers and tools use).
+func TestApplyProgrammatic(t *testing.T) {
+	nd, err := OpenNode("synth://arxiv-sim?nodes=128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Apply(&Dataset{Node: nd}, Subsample(64, 5), WithSelfLoops(), Resplit(0.5, 0.3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Node.G.N != 64 {
+		t.Fatalf("got %d nodes", d.Node.G.N)
+	}
+	if _, err := Apply(&Dataset{Node: nd}, Resplit(0.9, 0.9, 1)); err == nil {
+		t.Fatal("bad fractions must error")
+	}
+	// Apply never mutates its input
+	if nd.G.N != 128 {
+		t.Fatal("input mutated")
+	}
+	if nd.G.HasEdge(0, 0) != OpenNodeMust(t, "synth://arxiv-sim?nodes=128").G.HasEdge(0, 0) {
+		t.Fatal("input graph mutated")
+	}
+}
+
+func OpenNodeMust(t *testing.T, spec string) *graph.NodeDataset {
+	t.Helper()
+	nd, err := OpenNode(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nd
+}

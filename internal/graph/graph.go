@@ -211,6 +211,9 @@ func (g *Graph) Validate() error {
 		if g.RowPtr[i] > g.RowPtr[i+1] {
 			return fmt.Errorf("graph: RowPtr not monotone at %d", i)
 		}
+		if g.RowPtr[i] < 0 || int(g.RowPtr[i+1]) > len(g.ColIdx) {
+			return fmt.Errorf("graph: RowPtr out of bounds at %d", i)
+		}
 		adj := g.Neighbors(i)
 		for k, v := range adj {
 			if v < 0 || int(v) >= g.N {

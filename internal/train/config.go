@@ -59,6 +59,11 @@ type Config struct {
 	// head count must be divisible by the rank count. Structural: recorded
 	// in checkpoints and fixed across resume.
 	SeqParallel int
+	// DataSpec is the canonical dataset spec the task was built from ("",
+	// for in-memory datasets). Recorded in checkpoints since format v2 so
+	// resume can re-open the data instead of requiring the caller to
+	// rebuild it; the engine never opens it itself.
+	DataSpec string
 }
 
 // NodeConfig, GraphConfig and SeqConfig are kept as aliases of the shared

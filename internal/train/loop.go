@@ -205,6 +205,7 @@ func (l *Loop) Reconfigure(cfg Config) {
 	l.Cfg.LR = cfg.LR
 	l.Cfg.Warmup = cfg.Warmup
 	l.Cfg.EarlyStopPatience = cfg.EarlyStopPatience
+	l.Cfg.DataSpec = cfg.DataSpec
 	l.Task.reconfigure(l.Cfg)
 	l.opt.LR = cfg.LR
 	l.sched = nn.ConstantLR{Base: cfg.LR}

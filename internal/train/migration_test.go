@@ -1,0 +1,116 @@
+package train
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"torchgt/internal/model"
+)
+
+// downgradeToV1 rewrites a v2 checkpoint file as a faithful version-1 file:
+// the version word becomes 1 and the meta JSON loses the DataSpec key that
+// did not exist before the format bump.
+func downgradeToV1(t *testing.T, path string) string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := binary.LittleEndian
+	if got := le.Uint32(raw[4:]); got != checkpointVersion {
+		t.Fatalf("expected a v%d checkpoint, got v%d", checkpointVersion, got)
+	}
+	metaLen := le.Uint32(raw[8:])
+	var meta map[string]json.RawMessage
+	if err := json.Unmarshal(raw[12:12+metaLen], &meta); err != nil {
+		t.Fatal(err)
+	}
+	var cfg map[string]json.RawMessage
+	if err := json.Unmarshal(meta["train_config"], &cfg); err != nil {
+		t.Fatal(err)
+	}
+	delete(cfg, "DataSpec")
+	cfgRaw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta["train_config"] = cfgRaw
+	metaRaw, err := json.Marshal(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	for _, v := range []uint32{checkpointMagic, 1, uint32(len(metaRaw))} {
+		if err := binary.Write(&out, le, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out.Write(metaRaw)
+	out.Write(raw[12+metaLen:])
+	v1 := path + ".v1"
+	if err := os.WriteFile(v1, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return v1
+}
+
+// TestResumeVersion1Checkpoint covers the format migration: a checkpoint
+// written before the DataSpec bump (version 1, no DataSpec key) still
+// resumes, and the resumed run stays bitwise-identical to the
+// uninterrupted one.
+func TestResumeVersion1Checkpoint(t *testing.T) {
+	ds := smallNodeDataset(91)
+	cfg := Config{Method: GPFlash, Epochs: 6, LR: 2e-3, Seed: 92}
+	mcfg := model.GraphormerSlim(12, 4, 93)
+	mcfg.Layers = 1
+	mcfg.Heads = 2
+
+	dir := t.TempDir()
+	tr := NewNodeTrainer(cfg, mcfg, ds)
+	full := NewLoop(tr, tr.Model, cfg)
+	full.CheckpointEvery = 3
+	full.CheckpointDir = dir
+	fullRes, err := full.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v1 := downgradeToV1(t, filepath.Join(dir, "epoch-00003.ckpt"))
+	kind, rcfg, _, err := ReadCheckpointInfo(v1)
+	if err != nil {
+		t.Fatalf("v1 header read: %v", err)
+	}
+	if kind != TaskNode || rcfg.DataSpec != "" {
+		t.Fatalf("v1 header: kind %q spec %q", kind, rcfg.DataSpec)
+	}
+	resumed, err := Resume(v1, bindFor(ds, nil))
+	if err != nil {
+		t.Fatalf("v1 checkpoint must resume: %v", err)
+	}
+	resRes, err := resumed.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameWeights(t, full.Model(), resumed.Model())
+	assertSameCurve(t, fullRes.Curve, resRes.Curve)
+
+	// versions above the current one still fail
+	raw, err := os.ReadFile(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(raw[4:], checkpointVersion+1)
+	future := filepath.Join(dir, "future.ckpt")
+	if err := os.WriteFile(future, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(future, bindFor(ds, nil)); err == nil {
+		t.Fatal("future version must error")
+	}
+}

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"fmt"
 	"time"
 
 	"torchgt/internal/encoding"
@@ -48,9 +49,10 @@ func (c EgoConfig) withDefaults() EgoConfig {
 
 // EgoTrainer trains node classification from sampled ego-graphs.
 type EgoTrainer struct {
-	Cfg   EgoConfig
-	Model *model.GraphTransformer
-	DS    *graph.NodeDataset
+	Cfg      EgoConfig
+	Model    *model.GraphTransformer
+	DS       *graph.NodeDataset
+	modelCfg model.Config
 }
 
 // NewEgoTrainer builds the trainer; the model is used with a global-token
@@ -58,7 +60,34 @@ type EgoTrainer struct {
 func NewEgoTrainer(cfg EgoConfig, modelCfg model.Config, ds *graph.NodeDataset) *EgoTrainer {
 	cfg = cfg.withDefaults()
 	modelCfg.GlobalToken = false
-	return &EgoTrainer{Cfg: cfg, Model: model.NewGraphTransformer(modelCfg), DS: ds}
+	return &EgoTrainer{Cfg: cfg, Model: model.NewGraphTransformer(modelCfg), modelCfg: modelCfg, DS: ds}
+}
+
+// validate checks the dataset against the model before training, so Run
+// reports a descriptive error instead of a mid-epoch panic.
+func (tr *EgoTrainer) validate() error {
+	if tr.DS == nil {
+		return fmt.Errorf("train: ego trainer has no dataset")
+	}
+	if tr.modelCfg.InDim != tr.DS.X.Cols {
+		return fmt.Errorf("train: model expects %d input features, dataset %q has %d",
+			tr.modelCfg.InDim, tr.DS.Name, tr.DS.X.Cols)
+	}
+	if tr.DS.NumClasses > 0 && tr.modelCfg.OutDim != tr.DS.NumClasses {
+		return fmt.Errorf("train: model emits %d classes, dataset %q has %d",
+			tr.modelCfg.OutDim, tr.DS.Name, tr.DS.NumClasses)
+	}
+	hasTrain := false
+	for _, m := range tr.DS.TrainMask {
+		if m {
+			hasTrain = true
+			break
+		}
+	}
+	if !hasTrain {
+		return fmt.Errorf("train: dataset %q has no training nodes", tr.DS.Name)
+	}
+	return nil
 }
 
 // sampleEgo collects ≤MaxSize nodes around target by truncated BFS with
@@ -124,8 +153,13 @@ func (tr *EgoTrainer) step(targets []int32, opt *nn.Adam, rng interface{ Intn(in
 }
 
 // Run trains over all train-mask targets each epoch and evaluates on a
-// sample of test nodes.
-func (tr *EgoTrainer) Run() *Result {
+// sample of test nodes. Invalid configurations (nil or mismatched dataset,
+// no training nodes) are reported as errors rather than panics, and
+// callers — TrainNodeEgo included — propagate them.
+func (tr *EgoTrainer) Run() (*Result, error) {
+	if err := tr.validate(); err != nil {
+		return nil, err
+	}
 	opt := nn.NewAdam(tr.Cfg.LR)
 	opt.ClipNorm = 5
 	rng := newRand(tr.Cfg.Seed)
@@ -161,7 +195,7 @@ func (tr *EgoTrainer) Run() *Result {
 	if res.FinalTestAcc > res.BestTestAcc {
 		res.BestTestAcc = res.FinalTestAcc
 	}
-	return res
+	return res, nil
 }
 
 // evalSample classifies up to n test targets via their ego-graphs.

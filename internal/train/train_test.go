@@ -227,7 +227,10 @@ func TestEgoTrainerRunsAndLearns(t *testing.T) {
 	cfg.Layers = 2
 	cfg.Heads = 2
 	tr := NewEgoTrainer(EgoConfig{Epochs: 3, Hops: 2, MaxSize: 16, Batch: 32, Seed: 32}, cfg, ds)
-	res := tr.Run()
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Curve) != 3 {
 		t.Fatal("ego trainer curve wrong")
 	}
@@ -237,6 +240,32 @@ func TestEgoTrainerRunsAndLearns(t *testing.T) {
 	}
 	if res.Curve[0].Loss <= res.Curve[2].Loss {
 		t.Fatalf("ego loss did not fall: %v -> %v", res.Curve[0].Loss, res.Curve[2].Loss)
+	}
+}
+
+func TestEgoTrainerRunErrors(t *testing.T) {
+	cfg := model.GraphormerSlim(12, 4, 31)
+	cfg.Layers = 1
+	if _, err := NewEgoTrainer(EgoConfig{Epochs: 1}, cfg, nil).Run(); err == nil {
+		t.Fatal("nil dataset must error")
+	}
+	ds := smallNodeDataset(33)
+	badIn := model.GraphormerSlim(7, 4, 31)
+	badIn.Layers = 1
+	if _, err := NewEgoTrainer(EgoConfig{Epochs: 1}, badIn, ds).Run(); err == nil {
+		t.Fatal("feature-dim mismatch must error")
+	}
+	badOut := model.GraphormerSlim(12, 9, 31)
+	badOut.Layers = 1
+	if _, err := NewEgoTrainer(EgoConfig{Epochs: 1}, badOut, ds).Run(); err == nil {
+		t.Fatal("class-count mismatch must error")
+	}
+	unlabelled := smallNodeDataset(37)
+	for i := range unlabelled.TrainMask {
+		unlabelled.TrainMask[i] = false
+	}
+	if _, err := NewEgoTrainer(EgoConfig{Epochs: 1}, cfg, unlabelled).Run(); err == nil {
+		t.Fatal("no training nodes must error")
 	}
 }
 

@@ -31,6 +31,8 @@ func LoadNodeDatasetFile(path string) (*NodeDataset, error) {
 // TrainNodeEgo trains node classification with ego-graph sampling (the
 // Gophormer/NAGphormer baseline family the paper contrasts with
 // long-sequence training in §II-C). opts.SeqLen bounds the ego-graph size.
+// Invalid inputs (nil or mismatched dataset, no training nodes) surface as
+// errors.
 //
 // Frozen compatibility wrapper (defaults resolve in train.EgoConfig).
 func TrainNodeEgo(cfg ModelConfig, ds *NodeDataset, opts TrainOptions) (*Result, error) {
@@ -42,5 +44,5 @@ func TrainNodeEgo(cfg ModelConfig, ds *NodeDataset, opts TrainOptions) (*Result,
 		Epochs: opts.Epochs, LR: opts.LR, MaxSize: maxSize,
 		Batch: opts.BatchSize, Seed: opts.Seed,
 	}, cfg, ds)
-	return tr.Run(), nil
+	return tr.Run()
 }

@@ -14,8 +14,6 @@ type AttentionSpec = model.AttentionSpec
 // Pattern is a sparse attention pattern over token positions.
 type Pattern = sparse.Pattern
 
-type patternAlias = Pattern
-
 // patternFrom builds the self-loop-augmented topology pattern of a graph.
 func patternFrom(g *graph.Graph) *Pattern { return sparse.FromGraph(g) }
 

@@ -52,11 +52,16 @@ type (
 )
 
 // TaskSpec names the training regime and carries its dataset. Construct one
-// with NodeTask, GraphLevelTask or NodeSeqTask.
+// with NodeTask, GraphLevelTask or NodeSeqTask over an in-memory dataset,
+// or with TaskFromSpec / NodeTaskFromSpec / NodeSeqTaskFromSpec /
+// GraphLevelTaskFromSpec over a dataset spec string — spec-built tasks
+// record the spec in Session checkpoints so ResumeSessionFromSpec can
+// re-open the data.
 type TaskSpec struct {
 	kind string
 	node *NodeDataset
 	gds  *GraphDataset
+	spec string // canonical dataset spec ("" for in-memory datasets)
 }
 
 // NodeTask trains node classification over the full graph sequence (the
@@ -198,6 +203,9 @@ func NewSession(method Method, cfg ModelConfig, task TaskSpec, opts ...SessionOp
 		o(st)
 	}
 	st.cfg.Method = method
+	if task.spec != "" {
+		st.cfg.DataSpec = task.spec
+	}
 	t, _, gtr, err := buildTrainer(task, st.cfg, cfg, false)
 	if err != nil {
 		return nil, err
@@ -336,6 +344,13 @@ func ResumeSession(path string, task TaskSpec, opts ...SessionOption) (*Session,
 	for _, o := range opts {
 		o(st)
 	}
+	// The resumed run's checkpoints must describe the data actually in
+	// use: a spec-built task refreshes the recorded spec (e.g. data moved
+	// to a new path), and an in-memory task clears it — we cannot attest
+	// that the old spec still matches the supplied dataset, and a stale
+	// spec would make a later ResumeSessionFromSpec silently train on the
+	// wrong data.
+	st.cfg.DataSpec = task.spec
 	loop.Reconfigure(st.cfg)
 	loop.Sink = st.sink
 	loop.CheckpointEvery = st.every

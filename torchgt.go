@@ -23,8 +23,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strconv"
 
 	"torchgt/internal/bench"
+	"torchgt/internal/data"
 	"torchgt/internal/dist"
 	"torchgt/internal/graph"
 	"torchgt/internal/model"
@@ -99,14 +101,40 @@ func GraphDatasetNames() []string { return graph.GraphLevelDatasetNames() }
 
 // LoadNodeDataset builds a synthetic node-level dataset; numNodes = 0 keeps
 // the preset size (see DESIGN.md for the Table III mapping).
+//
+// Frozen compatibility wrapper over the provider registry — equivalent to
+// OpenDataset("synth://name?nodes=N&seed=S") and bitwise-identical to the
+// pre-registry loader for every preset/seed (pinned by test).
 func LoadNodeDataset(name string, numNodes int, seed int64) (*NodeDataset, error) {
-	return graph.LoadNodeScaled(name, numNodes, seed)
+	sp := DatasetSpec{Scheme: "synth", Name: name, Seed: seed, Params: map[string]string{}}
+	if numNodes > 0 {
+		sp.Params["nodes"] = strconv.Itoa(numNodes)
+	}
+	d, err := data.Open(sp)
+	if err != nil {
+		return nil, err
+	}
+	if d.Node == nil {
+		return nil, fmt.Errorf("torchgt: %q is a graph-level dataset (use LoadGraphDataset)", name)
+	}
+	return d.Node, nil
 }
 
 // LoadGraphDataset builds a synthetic graph-level dataset (zinc-sim,
 // molpcba-sim, malnet-sim).
+//
+// Frozen compatibility wrapper over the provider registry — equivalent to
+// OpenDataset("synth://name?seed=S") and bitwise-identical to the
+// pre-registry loader for every preset/seed (pinned by test).
 func LoadGraphDataset(name string, seed int64) (*GraphDataset, error) {
-	return graph.LoadGraphLevel(name, seed)
+	d, err := data.Open(DatasetSpec{Scheme: "synth", Name: name, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if d.Graph == nil {
+		return nil, fmt.Errorf("torchgt: %q is a node-level dataset (use LoadNodeDataset)", name)
+	}
+	return d.Graph, nil
 }
 
 // Model presets (Table IV).
@@ -269,7 +297,7 @@ func SparseNodeSpec(ds *NodeDataset) *model.AttentionSpec {
 	return &model.AttentionSpec{Mode: model.ModeSparse, Pattern: p}
 }
 
-func sparsePattern(ds *NodeDataset) *patternAlias { return patternFrom(ds.G) }
+func sparsePattern(ds *NodeDataset) *Pattern { return patternFrom(ds.G) }
 
 // ExperimentIDs lists every reproducible table/figure id.
 func ExperimentIDs() []string { return bench.IDs() }
