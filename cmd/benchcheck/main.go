@@ -1,6 +1,7 @@
 // benchcheck is the benchmark-regression gate: it parses `go test -bench
 // -benchmem` output from stdin, writes every result to a JSON report, and
-// fails when a benchmark's allocs/op exceeds its committed baseline ceiling.
+// fails when a benchmark breaks its committed baseline — either an allocs/op
+// ceiling, or an ns/op ratio ceiling between a pair of benchmarks.
 //
 // Usage (what CI runs):
 //
@@ -12,6 +13,13 @@
 // essentially machine-independent, which is what makes them gateable in CI.
 // A baselined benchmark that disappears from the output also fails the gate,
 // so a rename cannot silently drop coverage.
+//
+// Absolute ns/op is NOT gateable across machines, but a ratio between two
+// benchmarks measured in the same run is: the max_ns_per_op_ratio section
+// maps "Numerator/Denominator" benchmark pairs to a ceiling on
+// ns(Numerator)/ns(Denominator). This is how the optimized backend's ≥1.3×
+// speedup over the reference backend is locked in
+// ("…Opt/…" ratio ≤ 1/1.3 ≈ 0.77).
 package main
 
 import (
@@ -19,10 +27,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // benchLine matches e.g.
@@ -41,59 +51,55 @@ type Result struct {
 type Baseline struct {
 	// MaxAllocsPerOp maps benchmark name → tolerated allocs/op ceiling.
 	MaxAllocsPerOp map[string]float64 `json:"max_allocs_per_op"`
+	// MaxNsPerOpRatio maps "Numerator/Denominator" benchmark-name pairs →
+	// tolerated ns/op ratio ceiling. Both benchmarks must appear in the same
+	// run; a missing side fails the gate like a missing allocs baseline.
+	MaxNsPerOpRatio map[string]float64 `json:"max_ns_per_op_ratio"`
 }
 
 // Report is what gets written to -out (and archived by CI).
 type Report struct {
-	Results    map[string]Result `json:"results"`
-	Violations []string          `json:"violations"`
-	Missing    []string          `json:"missing"`
-	Pass       bool              `json:"pass"`
+	Results    map[string]Result  `json:"results"`
+	Ratios     map[string]float64 `json:"ratios,omitempty"`
+	Violations []string           `json:"violations"`
+	Missing    []string           `json:"missing"`
+	Pass       bool               `json:"pass"`
 }
 
-func main() {
-	baselinePath := flag.String("baseline", "ci/bench-baseline.json", "committed baseline JSON")
-	outPath := flag.String("out", "BENCH_serve.json", "report output path")
-	flag.Parse()
-
-	raw, err := os.ReadFile(*baselinePath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcheck:", err)
-		os.Exit(2)
-	}
-	var base Baseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintln(os.Stderr, "benchcheck: bad baseline:", err)
-		os.Exit(2)
-	}
-
+// parseBench reads `go test -bench` output from r, echoing every line to
+// echo (the CI log), and returns the parsed measurements keyed by benchmark
+// name with the -N GOMAXPROCS suffix stripped.
+func parseBench(r io.Reader, echo io.Writer) (map[string]Result, error) {
 	results := map[string]Result{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // pass the raw stream through for the CI log
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
-		r := Result{}
-		r.N, _ = strconv.ParseInt(m[2], 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		res := Result{}
+		res.N, _ = strconv.ParseInt(m[2], 10, 64)
+		res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
 		if m[4] != "" {
-			r.BPerOp, _ = strconv.ParseFloat(m[4], 64)
+			res.BPerOp, _ = strconv.ParseFloat(m[4], 64)
 		}
 		if m[5] != "" {
-			r.AllocsOp, _ = strconv.ParseFloat(m[5], 64)
+			res.AllocsOp, _ = strconv.ParseFloat(m[5], 64)
 		}
-		results[m[1]] = r
+		results[m[1]] = res
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchcheck:", err)
-		os.Exit(2)
-	}
+	return results, sc.Err()
+}
 
+// evaluate checks results against the baseline and assembles the report.
+func evaluate(base Baseline, results map[string]Result) Report {
 	report := Report{Results: results, Pass: true}
+
 	names := make([]string, 0, len(base.MaxAllocsPerOp))
 	for name := range base.MaxAllocsPerOp {
 		names = append(names, name)
@@ -114,6 +120,71 @@ func main() {
 		}
 	}
 
+	pairs := make([]string, 0, len(base.MaxNsPerOpRatio))
+	for pair := range base.MaxNsPerOpRatio {
+		pairs = append(pairs, pair)
+	}
+	sort.Strings(pairs)
+	for _, pair := range pairs {
+		ceil := base.MaxNsPerOpRatio[pair]
+		num, den, ok := strings.Cut(pair, "/")
+		if !ok || num == "" || den == "" {
+			report.Violations = append(report.Violations,
+				fmt.Sprintf("%s: malformed ratio key (want \"Numerator/Denominator\")", pair))
+			report.Pass = false
+			continue
+		}
+		rn, okN := results[num]
+		rd, okD := results[den]
+		if !okN || !okD {
+			report.Missing = append(report.Missing, pair)
+			report.Pass = false
+			continue
+		}
+		if rd.NsPerOp <= 0 {
+			report.Violations = append(report.Violations,
+				fmt.Sprintf("%s: denominator ns/op is %v", pair, rd.NsPerOp))
+			report.Pass = false
+			continue
+		}
+		ratio := rn.NsPerOp / rd.NsPerOp
+		if report.Ratios == nil {
+			report.Ratios = map[string]float64{}
+		}
+		report.Ratios[pair] = ratio
+		if ratio > ceil {
+			report.Violations = append(report.Violations,
+				fmt.Sprintf("%s: ns/op ratio %.3f exceeds baseline %.3f", pair, ratio, ceil))
+			report.Pass = false
+		}
+	}
+	return report
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "ci/bench-baseline.json", "committed baseline JSON")
+	outPath := flag.String("out", "BENCH_serve.json", "report output path")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: bad baseline:", err)
+		os.Exit(2)
+	}
+
+	results, err := parseBench(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	report := evaluate(base, results)
+
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
@@ -124,8 +195,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("\nbenchcheck: %d benchmarks parsed, %d baselined, report %s\n",
-		len(results), len(names), *outPath)
+	fmt.Printf("\nbenchcheck: %d benchmarks parsed, %d allocs + %d ratio baselines, report %s\n",
+		len(results), len(base.MaxAllocsPerOp), len(base.MaxNsPerOpRatio), *outPath)
+	for pair, ratio := range report.Ratios {
+		fmt.Printf("benchcheck: ratio %s = %.3f (ceiling %.3f)\n", pair, ratio, base.MaxNsPerOpRatio[pair])
+	}
 	for _, v := range report.Violations {
 		fmt.Fprintln(os.Stderr, "benchcheck: REGRESSION:", v)
 	}
@@ -135,5 +209,5 @@ func main() {
 	if !report.Pass {
 		os.Exit(1)
 	}
-	fmt.Println("benchcheck: all pooled allocation baselines hold")
+	fmt.Println("benchcheck: all allocation and ns/op-ratio baselines hold")
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: torchgt/internal/attention
+BenchmarkDenseStepPooled-8   	     100	  10000000 ns/op	  2048 B/op	  12 allocs/op
+BenchmarkDenseStepPooledOpt-8	     200	   5000000 ns/op	  2048 B/op	  12 allocs/op
+BenchmarkServeBatch8-8       	     100	  117503 ns/op	  2048 B/op	  31 allocs/op
+BenchmarkNoMem               	     500	  250.5 ns/op
+PASS
+ok  	torchgt/internal/attention	2.1s
+`
+
+func parseSample(t *testing.T) map[string]Result {
+	t.Helper()
+	results, err := parseBench(strings.NewReader(sampleOutput), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	results := parseSample(t)
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %v", len(results), results)
+	}
+	r, ok := results["BenchmarkDenseStepPooled"]
+	if !ok {
+		t.Fatal("missing BenchmarkDenseStepPooled (GOMAXPROCS suffix not stripped?)")
+	}
+	if r.N != 100 || r.NsPerOp != 10000000 || r.BPerOp != 2048 || r.AllocsOp != 12 {
+		t.Fatalf("bad parse: %+v", r)
+	}
+	// a line without -benchmem columns still parses ns/op
+	nm := results["BenchmarkNoMem"]
+	if nm.NsPerOp != 250.5 || nm.AllocsOp != 0 {
+		t.Fatalf("bad parse of mem-less line: %+v", nm)
+	}
+}
+
+func TestEvaluateAllocCeilings(t *testing.T) {
+	results := parseSample(t)
+	base := Baseline{MaxAllocsPerOp: map[string]float64{
+		"BenchmarkDenseStepPooled": 16, // holds (12 ≤ 16)
+		"BenchmarkServeBatch8":     30, // violated (31 > 30)
+		"BenchmarkGone":            5,  // missing from output
+	}}
+	rep := evaluate(base, results)
+	if rep.Pass {
+		t.Fatal("expected failure")
+	}
+	if len(rep.Violations) != 1 || !strings.Contains(rep.Violations[0], "BenchmarkServeBatch8") {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing = %v", rep.Missing)
+	}
+}
+
+func TestEvaluateRatioCeilings(t *testing.T) {
+	results := parseSample(t)
+	t.Run("holds", func(t *testing.T) {
+		base := Baseline{MaxNsPerOpRatio: map[string]float64{
+			// 5e6 / 1e7 = 0.5 ≤ 0.77
+			"BenchmarkDenseStepPooledOpt/BenchmarkDenseStepPooled": 0.77,
+		}}
+		rep := evaluate(base, results)
+		if !rep.Pass {
+			t.Fatalf("expected pass: %v %v", rep.Violations, rep.Missing)
+		}
+		if r := rep.Ratios["BenchmarkDenseStepPooledOpt/BenchmarkDenseStepPooled"]; r != 0.5 {
+			t.Fatalf("ratio = %v, want 0.5", r)
+		}
+	})
+	t.Run("exceeded", func(t *testing.T) {
+		base := Baseline{MaxNsPerOpRatio: map[string]float64{
+			"BenchmarkDenseStepPooledOpt/BenchmarkDenseStepPooled": 0.4,
+		}}
+		rep := evaluate(base, results)
+		if rep.Pass || len(rep.Violations) != 1 {
+			t.Fatalf("expected one violation, got %v", rep.Violations)
+		}
+	})
+	t.Run("missing numerator", func(t *testing.T) {
+		base := Baseline{MaxNsPerOpRatio: map[string]float64{
+			"BenchmarkGone/BenchmarkDenseStepPooled": 1,
+		}}
+		rep := evaluate(base, results)
+		if rep.Pass || len(rep.Missing) != 1 {
+			t.Fatalf("expected missing entry, got %v", rep.Missing)
+		}
+	})
+	t.Run("missing denominator", func(t *testing.T) {
+		base := Baseline{MaxNsPerOpRatio: map[string]float64{
+			"BenchmarkDenseStepPooledOpt/BenchmarkGone": 1,
+		}}
+		rep := evaluate(base, results)
+		if rep.Pass || len(rep.Missing) != 1 {
+			t.Fatalf("expected missing entry, got %v", rep.Missing)
+		}
+	})
+	t.Run("malformed key", func(t *testing.T) {
+		base := Baseline{MaxNsPerOpRatio: map[string]float64{
+			"BenchmarkDenseStepPooled": 1, // no "/" separator
+		}}
+		rep := evaluate(base, results)
+		if rep.Pass || len(rep.Violations) != 1 || !strings.Contains(rep.Violations[0], "malformed") {
+			t.Fatalf("expected malformed-key violation, got %v", rep.Violations)
+		}
+	})
+}

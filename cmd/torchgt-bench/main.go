@@ -5,6 +5,7 @@
 //	torchgt-bench -exp table5            # one experiment, full scale
 //	torchgt-bench -exp all -scale smoke  # everything, fast
 //	torchgt-bench -exp table5 -data file://real.tgds  # run against your own data
+//	torchgt-bench -exp table5 -backend opt       # on the optimized kernels
 //	torchgt-bench -list
 package main
 
@@ -24,9 +25,17 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	scale := flag.String("scale", "full", "smoke | full")
 	dataSpec := flag.String("data", "", "node-level dataset spec; routes every experiment's node dataset through it (subsampled to each experiment's scale)")
+	backend := flag.String("backend", "", "compute backend: ref (bitwise-pinned default) | opt (autotuned microkernels)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
+	if *backend != "" {
+		if _, err := torchgt.SetBackend(*backend); err != nil {
+			fmt.Fprintln(os.Stderr, "torchgt-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("compute backend: %s\n", torchgt.ActiveBackend().Name())
+	}
 	if *dataSpec != "" {
 		bench.SetNodeDataSpec(*dataSpec)
 	}

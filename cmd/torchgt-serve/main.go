@@ -9,6 +9,13 @@
 //	torchgt-serve -data file://real.tgds -epochs 10                   # serve ingested data
 //	torchgt-serve -snapshot model.snap -http :8080                    # HTTP serving
 //	torchgt-serve -epochs 10 -save-snapshot model.snap -loads 200,800 # train, save, sweep
+//	torchgt-serve -quant int8 -save-snapshot model-int8.snap          # quantized snapshot
+//	torchgt-serve -backend opt -quant bf16 -loads 200,800             # quantized serving path
+//
+// -quant int8|bf16 re-encodes the snapshot's weights for compact storage
+// (int8: per-output-channel scales; bf16: truncated float32) with a
+// documented, test-pinned accuracy bound; replicas dequantize once at
+// startup. -backend opt serves on the autotuned optimized kernels.
 package main
 
 import (
@@ -41,6 +48,8 @@ func main() {
 	epochs := flag.Int("epochs", 10, "training epochs before serving")
 	snapshotPath := flag.String("snapshot", "", "load a frozen snapshot instead of training")
 	saveSnapshot := flag.String("save-snapshot", "", "write the frozen snapshot to this path")
+	backend := flag.String("backend", "", "compute backend: ref (bitwise-pinned default) | opt (autotuned microkernels)")
+	quant := flag.String("quant", "", "quantize the snapshot before serving/saving: none | int8 | bf16")
 
 	workers := flag.Int("workers", 0, "replica workers (0 = default)")
 	batch := flag.Int("batch", 16, "max batch size (flush-on-size trigger)")
@@ -57,6 +66,16 @@ func main() {
 	m, err := torchgt.ParseServeMode(*mode)
 	if err != nil {
 		fail(err)
+	}
+	qm, err := torchgt.ParseQuantMode(*quant)
+	if err != nil {
+		fail(err)
+	}
+	if *backend != "" {
+		if _, err := torchgt.SetBackend(*backend); err != nil {
+			fail(err)
+		}
+		fmt.Printf("compute backend: %s\n", torchgt.ActiveBackend().Name())
 	}
 	var ds *torchgt.NodeDataset
 	if *dataSpec != "" {
@@ -77,7 +96,11 @@ func main() {
 		if snap, err = torchgt.LoadSnapshot(*snapshotPath); err != nil {
 			fail(err)
 		}
-		fmt.Printf("loaded snapshot %s (%s, %d params)\n", *snapshotPath, snap.Config().Name, snap.NumParams())
+		desc := ""
+		if q := snap.Quant(); q != torchgt.QuantNone {
+			desc = fmt.Sprintf(", %s-quantized", q)
+		}
+		fmt.Printf("loaded snapshot %s (%s, %d params%s)\n", *snapshotPath, snap.Config().Name, snap.NumParams(), desc)
 	} else {
 		tm, err := torchgt.ParseMethod(*method)
 		if err != nil {
@@ -93,6 +116,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("trained: final test accuracy %.2f%%\n", res.FinalTestAcc*100)
+	}
+	if qm != torchgt.QuantNone && snap.Quant() != qm {
+		if snap, err = torchgt.QuantizeSnapshot(snap, qm); err != nil {
+			fail(err)
+		}
+		fmt.Printf("snapshot quantized to %s\n", snap.Quant())
 	}
 	if *saveSnapshot != "" {
 		if err := torchgt.SaveSnapshot(*saveSnapshot, snap); err != nil {

@@ -13,6 +13,7 @@
 //	torchgt-train -resume ckpts/epoch-00010.ckpt
 //	torchgt-train -seqlen 512 -patience 8
 //	torchgt-train -seqpar 4 -method torchgt
+//	torchgt-train -backend opt -epochs 20
 //
 // -data accepts any dataset spec (see torchgt-data list); the session
 // records the spec in checkpoints, so -resume needs no dataset flags at
@@ -20,6 +21,9 @@
 // plan (P ranks resharding sequence↔heads through channel all-to-alls).
 // The trajectory is bitwise identical to the serial run, so every other
 // feature — events, checkpoints, resume, early stopping — composes with it.
+// -backend opt trains on the autotuned optimized kernels (faster, within a
+// small tolerance of the bitwise-pinned reference default — see DESIGN.md
+// "Compute backends and quantized serving").
 package main
 
 import (
@@ -51,6 +55,7 @@ func run(ctx context.Context, args []string) error {
 	dataset := fs.String("dataset", "arxiv-sim", "synthetic dataset name (node- or graph-level)")
 	modelName := fs.String("model", "gph-slim", "gph-slim | gph-large | gt | nodeformer")
 	method := fs.String("method", "torchgt", "gp-raw | gp-flash | gp-sparse | torchgt | torchgt-bf16 | nodeformer")
+	backend := fs.String("backend", "", "compute backend: ref (bitwise-pinned default) | opt (autotuned microkernels)")
 	epochs := fs.Int("epochs", 20, "training epochs")
 	nodes := fs.Int("nodes", 2048, "node count for synthetic node-level datasets (0 = preset)")
 	lr := fs.Float64("lr", 2e-3, "learning rate")
@@ -70,6 +75,12 @@ func run(ctx context.Context, args []string) error {
 	m, err := torchgt.ParseMethod(*method)
 	if err != nil {
 		return err
+	}
+	if *backend != "" {
+		if _, err := torchgt.SetBackend(*backend); err != nil {
+			return err
+		}
+		fmt.Printf("compute backend: %s\n", torchgt.ActiveBackend().Name())
 	}
 	cfgFor := func(in, out int) torchgt.ModelConfig {
 		switch *modelName {

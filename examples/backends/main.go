@@ -1,0 +1,69 @@
+// Compute-backend example: activate the optimized backend, print what its
+// panel-width autotuner measured and chose (and the per-kernel speedups over
+// the reference backend), then train the same session on both backends and
+// compare wall-clock and accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"torchgt"
+)
+
+func main() {
+	// Activating the optimized backend runs the panel-width sweep once.
+	if _, err := torchgt.SetBackend("opt"); err != nil {
+		log.Fatal(err)
+	}
+	rep, ok := torchgt.BackendTuningReport()
+	if !ok {
+		log.Fatal("optimized backend active but no tuning report")
+	}
+
+	fmt.Println("panel-width sweeps (ns per kernel call, best of 3):")
+	for _, t := range rep.Tunings {
+		fmt.Printf("  %-8s chosen %3d  |", t.Kernel, t.Chosen)
+		for i, w := range t.Candidates {
+			mark := " "
+			if w == t.Chosen {
+				mark = "*"
+			}
+			fmt.Printf("  %s%d: %.0f", mark, w, t.NsPerOp[i])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nper-kernel speedup over the reference backend (tuning workload):")
+	for _, s := range rep.Speedups {
+		fmt.Printf("  %-8s  ref %8.0f ns  opt %8.0f ns  %.2fx\n", s.Kernel, s.RefNs, s.OptNs, s.Speedup)
+	}
+
+	// Same dataset, same seed, both backends. The reference trajectory is the
+	// bitwise-pinned one; the optimized run lands within a small tolerance of
+	// it (see DESIGN.md "Compute backends and quantized serving") but steps
+	// measurably faster.
+	ds, err := torchgt.LoadNodeDataset("arxiv-sim", 2048, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntraining gph-slim on arxiv-sim, 10 epochs, both backends:")
+	for _, name := range torchgt.BackendNames() {
+		if _, err := torchgt.SetBackend(name); err != nil {
+			log.Fatal(err)
+		}
+		cfg := torchgt.GraphormerSlim(ds.X.Cols, ds.NumClasses, 1)
+		start := time.Now()
+		res, err := torchgt.TrainNode(torchgt.MethodTorchGT, cfg, ds,
+			torchgt.TrainOptions{Epochs: 10, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-4s %8.2fs wall  final loss %.4f  test acc %.2f%%\n",
+			name, time.Since(start).Seconds(), res.Curve[len(res.Curve)-1].Loss, res.FinalTestAcc*100)
+	}
+	if _, err := torchgt.SetBackend("ref"); err != nil {
+		log.Fatal(err)
+	}
+}

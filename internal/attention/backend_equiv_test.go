@@ -1,0 +1,246 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"torchgt/internal/tensor"
+)
+
+// Cross-backend equivalence for all six attention kernels. Acceptance
+// contract (mirrors internal/tensor/backend_test.go at the kernel level):
+//
+//   - the reference backend is bitwise pinned — TestRefFlashBitwiseMatchesNaive
+//     checks the restructured flash kernel against a line-for-line naive
+//     reimplementation of the pre-backend formulation;
+//   - the optimized backend stays within a small tolerance of reference on
+//     every kernel's forward output and gradients;
+//   - the optimized backend is self-deterministic: bitwise identical results
+//     across repeated runs and across worker counts.
+
+type backendKernelCase struct {
+	name string
+	mk   func() Kernel
+	s, d int
+}
+
+// backendKernelCases covers dense, flash, flash-bf16, sparse, cluster-sparse
+// and kernelized. Sizes cross at least one flash tile boundary (tile = 64).
+func backendKernelCases(t *testing.T) []backendKernelCase {
+	t.Helper()
+	p := benchPattern(96)
+	r, s := buildReformed(t, 10, 0.05)
+	return []backendKernelCase{
+		{"dense", func() Kernel { return NewDense() }, 96, 16},
+		{"flash", func() Kernel { return NewFlash(false) }, 96, 16},
+		{"flash-bf16", func() Kernel { return NewFlash(true) }, 96, 16},
+		{"sparse", func() Kernel { return NewSparse(p) }, 96, 16},
+		{"cluster-sparse", func() Kernel { return NewClusterSparse(r) }, s, 16},
+		{"kernelized", func() Kernel { return NewKernelized() }, 96, 16},
+	}
+}
+
+// runKernelStep runs one forward+backward step on a fresh kernel with
+// seed-fixed inputs and returns cloned outputs.
+func runKernelStep(mk func() Kernel, s, d int) (o, dq, dk, dv *tensor.Mat) {
+	rng := rand.New(rand.NewSource(77))
+	q, k, v := randQKV(rng, s, d, d)
+	dO := tensor.New(s, d)
+	tensor.RandN(dO, rng, 1)
+	kr := mk()
+	o = kr.Forward(q, k, v).Clone()
+	gq, gk, gv := kr.Backward(dO)
+	return o, gq.Clone(), gk.Clone(), gv.Clone()
+}
+
+func withBackendNamed(t *testing.T, name string) {
+	t.Helper()
+	prev, err := tensor.SetBackend(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if _, err := tensor.SetBackend(prev); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func mustBitwiseMat(t *testing.T, name string, a, b *tensor.Mat) {
+	t.Helper()
+	if !a.SameShape(b) {
+		t.Fatalf("%s: shape mismatch %dx%d vs %dx%d", name, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			t.Fatalf("%s: element %d differs bitwise: %v vs %v", name, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestOptKernelsMatchReference checks that every kernel produces outputs and
+// gradients within tolerance of the reference backend when run on the
+// optimized backend (fast exp ~1e-6 rel, reassociated Dot/MatMulT).
+func TestOptKernelsMatchReference(t *testing.T) {
+	for _, tc := range backendKernelCases(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			withBackendNamed(t, "ref")
+			ro, rdq, rdk, rdv := runKernelStep(tc.mk, tc.s, tc.d)
+			withBackendNamed(t, "opt")
+			oo, odq, odk, odv := runKernelStep(tc.mk, tc.s, tc.d)
+			check := func(name string, r, o *tensor.Mat) {
+				if !r.Equal(o, 5e-3) {
+					t.Fatalf("%s: opt deviates from ref beyond tolerance", name)
+				}
+			}
+			check("o", ro, oo)
+			check("dq", rdq, odq)
+			check("dk", rdk, odk)
+			check("dv", rdv, odv)
+		})
+	}
+}
+
+// TestOptKernelsSelfDeterministic checks the optimized backend's determinism
+// contract on every kernel: repeated runs and different worker counts must be
+// bitwise identical (panel/tile boundaries only reorder independent output
+// elements, never the reduction order within one element).
+func TestOptKernelsSelfDeterministic(t *testing.T) {
+	withBackendNamed(t, "opt")
+	for _, tc := range backendKernelCases(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prev := tensor.SetWorkers(1)
+			t.Cleanup(func() { tensor.SetWorkers(prev) })
+			bo, bdq, bdk, bdv := runKernelStep(tc.mk, tc.s, tc.d)
+			for _, w := range []int{1, 3, 8} {
+				tensor.SetWorkers(w)
+				o, dq, dk, dv := runKernelStep(tc.mk, tc.s, tc.d)
+				mustBitwiseMat(t, tc.name+".o", bo, o)
+				mustBitwiseMat(t, tc.name+".dq", bdq, dq)
+				mustBitwiseMat(t, tc.name+".dk", bdk, dk)
+				mustBitwiseMat(t, tc.name+".dv", bdv, dv)
+			}
+		})
+	}
+}
+
+// naiveFlashStep is a line-for-line reimplementation of the flash kernel as
+// it existed before the exponentials were routed through tensor.ExpShift:
+// per-element float32(math.Exp(float64(...))) with the identical streaming
+// softmax recurrence and accumulation order.
+func naiveFlashStep(q, k, v, dO *tensor.Mat, tile int) (o, dq, dk, dv *tensor.Mat, lse []float32) {
+	s := q.Rows
+	dvc := v.Cols
+	scale := scaleFor(q.Cols)
+	o = tensor.New(s, dvc)
+	lse = make([]float32, s)
+	scores := make([]float32, tile)
+	acc := make([]float32, dvc)
+	for i := 0; i < s; i++ {
+		qi := q.Row(i)
+		m := float32(math.Inf(-1))
+		l := float32(0)
+		for x := range acc {
+			acc[x] = 0
+		}
+		for j0 := 0; j0 < s; j0 += tile {
+			j1 := min(j0+tile, s)
+			tileMax := float32(math.Inf(-1))
+			for j := j0; j < j1; j++ {
+				sc := tensor.Dot(qi, k.Row(j)) * scale
+				scores[j-j0] = sc
+				if sc > tileMax {
+					tileMax = sc
+				}
+			}
+			newM := m
+			if tileMax > newM {
+				newM = tileMax
+			}
+			corr := float32(math.Exp(float64(m - newM)))
+			l *= corr
+			for x := range acc {
+				acc[x] *= corr
+			}
+			for j := j0; j < j1; j++ {
+				p := float32(math.Exp(float64(scores[j-j0] - newM)))
+				l += p
+				tensor.Axpy(p, v.Row(j), acc)
+			}
+			m = newM
+		}
+		inv := 1 / l
+		oi := o.Row(i)
+		for x := range acc {
+			oi[x] = acc[x] * inv
+		}
+		lse[i] = m + float32(math.Log(float64(l)))
+	}
+	// backward, pre-restructure formulation
+	d := make([]float32, s)
+	for i := 0; i < s; i++ {
+		d[i] = tensor.Dot(dO.Row(i), o.Row(i))
+	}
+	dq = tensor.New(s, q.Cols)
+	dk = tensor.New(s, k.Cols)
+	dv = tensor.New(s, v.Cols)
+	for i := 0; i < s; i++ {
+		qi := q.Row(i)
+		dOi := dO.Row(i)
+		dqi := dq.Row(i)
+		for j := 0; j < s; j++ {
+			kj := k.Row(j)
+			p := float32(math.Exp(float64(tensor.Dot(qi, kj)*scale - lse[i])))
+			dp := tensor.Dot(dOi, v.Row(j))
+			ds := p * (dp - d[i])
+			tensor.Axpy(ds*scale, kj, dqi)
+		}
+	}
+	for j := 0; j < s; j++ {
+		kj := k.Row(j)
+		vj := v.Row(j)
+		dkj := dk.Row(j)
+		dvj := dv.Row(j)
+		for i := 0; i < s; i++ {
+			qi := q.Row(i)
+			dOi := dO.Row(i)
+			p := float32(math.Exp(float64(tensor.Dot(qi, kj)*scale - lse[i])))
+			dp := tensor.Dot(dOi, vj)
+			ds := p * (dp - d[i])
+			tensor.Axpy(ds*scale, qi, dkj)
+			tensor.Axpy(p, dOi, dvj)
+		}
+	}
+	return o, dq, dk, dv, lse
+}
+
+// TestRefFlashBitwiseMatchesNaive pins the flash restructure: on the
+// reference backend, routing the tile exponentials through tensor.ExpShift
+// must be bitwise identical to the pre-backend per-element math.Exp code
+// (IEEE a−b ≡ a+(−b); accumulation order unchanged).
+func TestRefFlashBitwiseMatchesNaive(t *testing.T) {
+	withBackendNamed(t, "ref")
+	rng := rand.New(rand.NewSource(31))
+	const s, d = 97, 12 // deliberately not a multiple of the tile width
+	q, k, v := randQKV(rng, s, d, d)
+	dO := tensor.New(s, d)
+	tensor.RandN(dO, rng, 1)
+
+	f := NewFlash(false)
+	fo := f.Forward(q, k, v).Clone()
+	fdq, fdk, fdv := f.Backward(dO)
+
+	no, ndq, ndk, ndv, nlse := naiveFlashStep(q, k, v, dO, f.Tile)
+	mustBitwiseMat(t, "o", no, fo)
+	for i := range nlse {
+		if math.Float32bits(nlse[i]) != math.Float32bits(f.lse[i]) {
+			t.Fatalf("lse[%d] differs: %v vs %v", i, nlse[i], f.lse[i])
+		}
+	}
+	mustBitwiseMat(t, "dq", ndq, fdq)
+	mustBitwiseMat(t, "dk", ndk, fdk)
+	mustBitwiseMat(t, "dv", ndv, fdv)
+}

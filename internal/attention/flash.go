@@ -82,15 +82,15 @@ func (f *Flash) Forward(q, k, v *tensor.Mat) *tensor.Mat {
 				acc[x] = 0
 			}
 			for j0 := 0; j0 < s; j0 += tile {
-				j1 := j0 + tile
-				if j1 > s {
-					j1 = s
-				}
-				// tile scores
+				j1 := min(j0+tile, s)
+				n := j1 - j0
+				// tile scores: one batched row-gemv per tile (K_tile·qi;
+				// products commute, so bitwise equal to per-row Dot(qi, kj))
+				tensor.MatVecRows(scores[:n], k, qi, j0, j1)
 				tileMax := float32(math.Inf(-1))
-				for j := j0; j < j1; j++ {
-					sc := tensor.Dot(qi, k.Row(j)) * scale
-					scores[j-j0] = sc
+				for x := 0; x < n; x++ {
+					sc := scores[x] * scale
+					scores[x] = sc
 					if sc > tileMax {
 						tileMax = sc
 					}
@@ -105,11 +105,14 @@ func (f *Flash) Forward(q, k, v *tensor.Mat) *tensor.Mat {
 				for x := range acc {
 					acc[x] *= corr
 				}
-				for j := j0; j < j1; j++ {
-					p := float32(math.Exp(float64(scores[j-j0] - newM)))
-					l += p
-					tensor.Axpy(p, v.Row(j), acc)
+				// exponentiate the tile in one dispatched pass
+				// (exp(sc−newM) ≡ exp(sc+(−newM)) bitwise in IEEE).
+				tensor.ExpShift(scores[:n], scores[:n], -newM)
+				for x := 0; x < n; x++ {
+					l += scores[x]
 				}
+				// acc += Σ p_j·v_j, j ascending — the batched axpy sequence
+				tensor.WeightedRowSum(acc, v, scores[:n], j0, j1)
 				m = newM
 			}
 			inv := 1 / l
@@ -143,36 +146,70 @@ func (f *Flash) Backward(dO *tensor.Mat) (dq, dk, dv *tensor.Mat) {
 	dq = f.ws.Get(s, q.Cols)
 	dk = f.ws.Get(s, k.Cols)
 	dv = f.ws.Get(s, v.Cols)
+	tile := f.Tile
+	if tile < 1 {
+		tile = 64
+	}
+	// Probabilities are regenerated tile-at-a-time through the batched
+	// backend primitives: MatVecRows for the score/dp gemvs, ExpShift for
+	// the exponentials, WeightedRowSum for the gradient accumulations. One
+	// dispatched call per tile instead of one Dot/Axpy per row, and on the
+	// reference backend every float operation sequence is unchanged:
+	// exp(dot·scale − lse) ≡ exp(dot·scale + (−lse)) in IEEE arithmetic, and
+	// the weighted row sums keep the axpy order.
+	nw := tensor.WorkerCount(s)
+	probBuf := f.ws.GetVec(nw * tile)
+	dpBuf := f.ws.GetVec(nw * tile)
 	// row pass: dq_i = Σ_j ds_ij * k_j * scale
-	tensor.ParallelFor(s, func(lo, hi int) {
+	tensor.ParallelForWorker(s, func(worker, lo, hi int) {
+		probs := probBuf[worker*tile : (worker+1)*tile]
+		dps := dpBuf[worker*tile : (worker+1)*tile]
 		for i := lo; i < hi; i++ {
 			qi := q.Row(i)
 			dOi := dO.Row(i)
 			dqi := dq.Row(i)
-			for j := 0; j < s; j++ {
-				kj := k.Row(j)
-				p := float32(math.Exp(float64(tensor.Dot(qi, kj)*scale - f.lse[i])))
-				dp := tensor.Dot(dOi, v.Row(j))
-				ds := p * (dp - d[i])
-				tensor.Axpy(ds*scale, kj, dqi)
+			for j0 := 0; j0 < s; j0 += tile {
+				j1 := min(j0+tile, s)
+				n := j1 - j0
+				tensor.MatVecRows(probs[:n], k, qi, j0, j1)
+				for x := 0; x < n; x++ {
+					probs[x] *= scale
+				}
+				tensor.ExpShift(probs[:n], probs[:n], -f.lse[i])
+				tensor.MatVecRows(dps[:n], v, dOi, j0, j1)
+				for x := 0; x < n; x++ {
+					// ds·scale, with ds = p·(dp − D_i)
+					probs[x] = probs[x] * (dps[x] - d[i]) * scale
+				}
+				tensor.WeightedRowSum(dqi, k, probs[:n], j0, j1)
 			}
 		}
 	})
-	// column pass: dk_j, dv_j
-	tensor.ParallelFor(s, func(lo, hi int) {
+	// column pass: dk_j, dv_j. The shift (lse[i]) varies inside the tile, so
+	// it is folded into the score and ExpShift runs with shift 0 (v+0 ≡ v).
+	tensor.ParallelForWorker(s, func(worker, lo, hi int) {
+		probs := probBuf[worker*tile : (worker+1)*tile]
+		dps := dpBuf[worker*tile : (worker+1)*tile]
 		for j := lo; j < hi; j++ {
 			kj := k.Row(j)
 			vj := v.Row(j)
 			dkj := dk.Row(j)
 			dvj := dv.Row(j)
-			for i := 0; i < s; i++ {
-				qi := q.Row(i)
-				dOi := dO.Row(i)
-				p := float32(math.Exp(float64(tensor.Dot(qi, kj)*scale - f.lse[i])))
-				dp := tensor.Dot(dOi, vj)
-				ds := p * (dp - d[i])
-				tensor.Axpy(ds*scale, qi, dkj)
-				tensor.Axpy(p, dOi, dvj)
+			for i0 := 0; i0 < s; i0 += tile {
+				i1 := min(i0+tile, s)
+				n := i1 - i0
+				tensor.MatVecRows(probs[:n], q, kj, i0, i1)
+				for x := 0; x < n; x++ {
+					probs[x] = probs[x]*scale - f.lse[i0+x]
+				}
+				tensor.ExpShift(probs[:n], probs[:n], 0)
+				tensor.MatVecRows(dps[:n], dO, vj, i0, i1)
+				// dv_j += Σ p_i·dO_i (weights read before being overwritten)
+				tensor.WeightedRowSum(dvj, dO, probs[:n], i0, i1)
+				for x := 0; x < n; x++ {
+					probs[x] = probs[x] * (dps[x] - d[i0+x]) * scale
+				}
+				tensor.WeightedRowSum(dkj, q, probs[:n], i0, i1)
 			}
 		}
 	})

@@ -15,7 +15,6 @@ type Block struct {
 	LN1, LN2 *nn.LayerNorm
 	Attn     *MHA
 	FC1, FC2 *nn.Linear
-	Act      *nn.GELU
 	Drop1    *nn.Dropout
 	Drop2    *nn.Dropout
 
@@ -40,7 +39,6 @@ func NewBlock(name string, hidden, heads, ffnHidden, numBuckets int, dropout flo
 		Attn:  NewMHA(name+".attn", hidden, heads, numBuckets, rng),
 		FC1:   nn.NewLinear(name+".fc1", hidden, ffnHidden, true, rng),
 		FC2:   nn.NewLinear(name+".fc2", ffnHidden, hidden, true, rng),
-		Act:   &nn.GELU{},
 		Drop1: nn.NewDropout(dropout, rng.Int63()),
 		Drop2: nn.NewDropout(dropout, rng.Int63()),
 	}
@@ -61,7 +59,9 @@ func (b *Block) Forward(x *tensor.Mat, spec *AttentionSpec, train bool) *tensor.
 	x1 := ws.GetUninit(x.Rows, x.Cols)
 	tensor.Add(x1, x, h)
 
-	f := b.FC2.Forward(b.Act.Forward(b.FC1.Forward(b.LN2.Forward(x1))))
+	// FFN with the fused bias+GELU first layer: one pass over the FC1
+	// output instead of a bias sweep plus a separate activation sweep.
+	f := b.FC2.Forward(b.FC1.ForwardGELU(b.LN2.Forward(x1)))
 	f = b.Drop2.Forward(f, train)
 	out := ws.GetUninit(x.Rows, x.Cols)
 	tensor.Add(out, x1, f)
@@ -72,7 +72,7 @@ func (b *Block) Forward(x *tensor.Mat, spec *AttentionSpec, train bool) *tensor.
 func (b *Block) Backward(dOut *tensor.Mat) *tensor.Mat {
 	// FFN branch
 	df := b.Drop2.Backward(dOut)
-	dx1 := b.LN2.Backward(b.FC1.Backward(b.Act.Backward(b.FC2.Backward(df))))
+	dx1 := b.LN2.Backward(b.FC1.BackwardGELU(b.FC2.Backward(df)))
 	tensor.AddInPlace(dx1, dOut) // residual
 
 	// attention branch

@@ -1,29 +1,20 @@
 package nn
 
 import (
-	"math"
-
 	"torchgt/internal/tensor"
 )
 
 // GELU is the Gaussian error linear unit activation (tanh approximation, as
-// used by Graphormer's FFN).
+// used by Graphormer's FFN). The canonical math lives in tensor (GELU /
+// GELUGrad) so this module and the backends' fused BiasGELU evaluate the
+// same float64 forms bitwise.
 type GELU struct {
 	x *tensor.Mat
 }
 
-const geluC = 0.7978845608028654 // sqrt(2/π)
+func geluFwd(x float64) float64 { return tensor.GELU(x) }
 
-func geluFwd(x float64) float64 {
-	return 0.5 * x * (1 + math.Tanh(geluC*(x+0.044715*x*x*x)))
-}
-
-func geluGrad(x float64) float64 {
-	inner := geluC * (x + 0.044715*x*x*x)
-	t := math.Tanh(inner)
-	dInner := geluC * (1 + 3*0.044715*x*x)
-	return 0.5*(1+t) + 0.5*x*(1-t*t)*dInner
-}
+func geluGrad(x float64) float64 { return tensor.GELUGrad(x) }
 
 // Forward applies GELU element-wise, caching the input.
 func (g *GELU) Forward(x *tensor.Mat) *tensor.Mat {

@@ -13,6 +13,7 @@ type Linear struct {
 	B       *Param // 1×Out (nil when bias disabled)
 
 	x *tensor.Mat // cached input for backward
+	z *tensor.Mat // cached pre-activation for BackwardGELU (fused path only)
 }
 
 // NewLinear constructs a Linear layer with Xavier-initialised weights.
@@ -57,10 +58,48 @@ func (l *Linear) Backward(dy *tensor.Mat) *tensor.Mat {
 	return dx
 }
 
-// ActivationBytes reports the cached activation footprint after Forward.
-func (l *Linear) ActivationBytes() int64 {
-	if l.x == nil {
-		return 0
+// ForwardGELU computes Y = GELU(X·W + b) with the bias add and activation
+// fused into one matrix pass (tensor.BiasGELU), replacing the
+// Forward-then-GELU sequence that swept the X·W result twice. The
+// pre-activation z is cached for BackwardGELU. Requires a bias (panics
+// otherwise — a biasless FFN layer has no fusion to exploit and should use
+// Forward plus an explicit activation).
+func (l *Linear) ForwardGELU(x *tensor.Mat) *tensor.Mat {
+	if l.B == nil {
+		panic("nn: Linear.ForwardGELU requires a bias")
 	}
-	return l.x.Bytes()
+	l.x = x
+	u := tensor.New(x.Rows, l.Out)
+	tensor.MatMul(u, x, l.W.W)
+	y := tensor.New(x.Rows, l.Out)
+	tensor.BiasGELU(y, u, l.B.W.Data) // u becomes z = X·W + b in place
+	l.z = u
+	return y
+}
+
+// BackwardGELU is the backward of ForwardGELU: dz = dy ⊙ GELU'(z) with the
+// bias gradient accumulated in the same fused pass, then the usual weight
+// gradient and input gradient from dz.
+func (l *Linear) BackwardGELU(dy *tensor.Mat) *tensor.Mat {
+	dz := tensor.New(dy.Rows, dy.Cols)
+	tensor.BiasGELUGrad(dz, l.B.Grad.Data, l.z, dy)
+	dW := tensor.New(l.In, l.Out)
+	tensor.TMatMul(dW, l.x, dz)
+	tensor.AddInPlace(l.W.Grad, dW)
+	dx := tensor.New(dz.Rows, l.In)
+	tensor.MatMulT(dx, dz, l.W.W)
+	return dx
+}
+
+// ActivationBytes reports the cached activation footprint after Forward (and
+// the pre-activation kept by the fused ForwardGELU path, when used).
+func (l *Linear) ActivationBytes() int64 {
+	var n int64
+	if l.x != nil {
+		n += l.x.Bytes()
+	}
+	if l.z != nil {
+		n += l.z.Bytes()
+	}
+	return n
 }

@@ -13,10 +13,16 @@ import (
 // the numbers count buffers, not goroutine launches (same convention as the
 // attention alloc benchmarks).
 
-func benchServer(b *testing.B, batch int) (*Server, []int32) {
+func benchServer(b *testing.B, batch int, q Quant) (*Server, []int32) {
 	b.Helper()
 	ds := testDataset(256, 41)
 	snap := testSnapshot(b, ds, 42)
+	if q != QuantNone {
+		var err error
+		if snap, err = snap.Quantize(q); err != nil {
+			b.Fatal(err)
+		}
+	}
 	s, err := NewServer(snap, ds, Options{
 		Workers: 1, MaxBatch: batch,
 		Exec: &model.ExecOptions{Workers: 1, PoolEnabled: true},
@@ -33,10 +39,10 @@ func benchServer(b *testing.B, batch int) (*Server, []int32) {
 	return s, nodes
 }
 
-func benchPredictBatch(b *testing.B, batch int) {
+func benchPredictBatch(b *testing.B, batch int, q Quant) {
 	prev := tensor.SetWorkers(1)
 	defer tensor.SetWorkers(prev)
-	s, nodes := benchServer(b, batch)
+	s, nodes := benchServer(b, batch, q)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -47,6 +53,13 @@ func benchPredictBatch(b *testing.B, batch int) {
 	}
 }
 
-func BenchmarkServeBatch1(b *testing.B)  { benchPredictBatch(b, 1) }
-func BenchmarkServeBatch8(b *testing.B)  { benchPredictBatch(b, 8) }
-func BenchmarkServeBatch32(b *testing.B) { benchPredictBatch(b, 32) }
+func BenchmarkServeBatch1(b *testing.B)  { benchPredictBatch(b, 1, QuantNone) }
+func BenchmarkServeBatch8(b *testing.B)  { benchPredictBatch(b, 8, QuantNone) }
+func BenchmarkServeBatch32(b *testing.B) { benchPredictBatch(b, 32, QuantNone) }
+
+// Quantized serving path: replicas dequantize at materialize time, so the
+// steady-state request cost must match the float32 server (same f32 kernels,
+// same pooled buffers). These benchmarks hold the quantized path to the same
+// allocs/op ceilings in ci/bench-baseline.json.
+func BenchmarkServeBatch8Int8(b *testing.B) { benchPredictBatch(b, 8, QuantInt8) }
+func BenchmarkServeBatch8BF16(b *testing.B) { benchPredictBatch(b, 8, QuantBF16) }

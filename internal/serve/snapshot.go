@@ -20,8 +20,9 @@ import (
 // the only currency between training and serving.
 type Snapshot struct {
 	cfg       model.Config
-	blob      []byte // nn checkpoint encoding of the parameters
+	blob      []byte // parameter encoding (nn checkpoint, or quantized blob)
 	numParams int    // scalar parameter count, recorded at freeze/load time
+	quant     Quant  // weight storage precision (QuantNone for Freeze output)
 }
 
 // Freeze extracts a serving snapshot from a trained model. The model's own
@@ -53,19 +54,34 @@ func (s *Snapshot) Materialize() (*model.GraphTransformer, error) {
 	cfg := s.cfg
 	cfg.Dropout = 0
 	m := model.NewGraphTransformer(cfg)
-	if err := nn.LoadParams(bytes.NewReader(s.blob), m.Params()); err != nil {
-		return nil, fmt.Errorf("serve: materialize: %w", err)
+	if s.quant == QuantNone {
+		if err := nn.LoadParams(bytes.NewReader(s.blob), m.Params()); err != nil {
+			return nil, fmt.Errorf("serve: materialize: %w", err)
+		}
+	} else {
+		if err := decodeQuantParams(bytes.NewReader(s.blob), m.Params()); err != nil {
+			return nil, fmt.Errorf("serve: materialize: %w", err)
+		}
 	}
 	return m, nil
 }
 
-// Snapshot file format: magic, version, a length-prefixed JSON header with
-// the model configuration, then the nn checkpoint blob.
+// Snapshot file format: magic, version, a length-prefixed JSON header, then
+// the parameter blob. Version 1 headers are the bare model configuration
+// (always float32 weights); version 2 wraps the configuration together with
+// the quantization mode. Save always writes version 2; LoadSnapshot reads
+// both.
 const (
 	snapshotMagic   = 0x74475376 // "tGSv"
-	snapshotVersion = 1
+	snapshotVersion = 2
 	maxConfigBytes  = 1 << 16
 )
+
+// snapshotHeader is the version-2 JSON header.
+type snapshotHeader struct {
+	Config model.Config `json:"config"`
+	Quant  string       `json:"quant"`
+}
 
 // Save writes the snapshot to path.
 func (s *Snapshot) Save(path string) error {
@@ -75,7 +91,7 @@ func (s *Snapshot) Save(path string) error {
 	}
 	defer f.Close()
 	bw := bufio.NewWriter(f)
-	hdr, err := json.Marshal(s.cfg)
+	hdr, err := json.Marshal(snapshotHeader{Config: s.cfg, Quant: s.quant.String()})
 	if err != nil {
 		return err
 	}
@@ -111,7 +127,7 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 	if magic != snapshotMagic {
 		return nil, fmt.Errorf("serve: %s is not a snapshot file", path)
 	}
-	if version != snapshotVersion {
+	if version != 1 && version != snapshotVersion {
 		return nil, fmt.Errorf("serve: unsupported snapshot version %d", version)
 	}
 	if hdrLen == 0 || hdrLen > maxConfigBytes {
@@ -122,8 +138,21 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 		return nil, fmt.Errorf("serve: corrupt snapshot %s: %w", path, err)
 	}
 	s := &Snapshot{}
-	if err := json.Unmarshal(hdr, &s.cfg); err != nil {
-		return nil, fmt.Errorf("serve: corrupt snapshot config: %w", err)
+	if version == 1 {
+		// v1: bare config JSON, always float32 weights
+		if err := json.Unmarshal(hdr, &s.cfg); err != nil {
+			return nil, fmt.Errorf("serve: corrupt snapshot config: %w", err)
+		}
+	} else {
+		var h snapshotHeader
+		if err := json.Unmarshal(hdr, &h); err != nil {
+			return nil, fmt.Errorf("serve: corrupt snapshot header: %w", err)
+		}
+		q, err := ParseQuant(h.Quant)
+		if err != nil {
+			return nil, fmt.Errorf("serve: corrupt snapshot header: %w", err)
+		}
+		s.cfg, s.quant = h.Config, q
 	}
 	if s.blob, err = io.ReadAll(br); err != nil {
 		return nil, err

@@ -1,0 +1,153 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Autotuning for the optimized backend, in the style of the measured sweeps
+// internal/gpusim uses to pick simulator constants: enumerate a small
+// candidate grid, time each candidate on a fixed synthetic workload, keep the
+// argmin. It runs once per process, on first activation of the backend
+// (Use/SetBackend), and costs a few tens of milliseconds.
+//
+// Only panel widths are tuned, and panels are numerics-neutral by
+// construction (see optBackend): whatever the sweep picks — even if the
+// timing noise picks differently on the next run — kernel outputs are
+// bit-identical. Tuning affects speed only.
+
+// panelCandidates is the width grid swept for each panelled kernel.
+var panelCandidates = []int{64, 128, 256, 512}
+
+// KernelTuning records the sweep for one kernel parameter.
+type KernelTuning struct {
+	Kernel     string    // kernel the panel width belongs to
+	Candidates []int     // widths tried
+	NsPerOp    []float64 // best-of-reps time per candidate, same order
+	Chosen     int       // selected width (argmin)
+}
+
+// KernelSpeedup records one optimized-vs-reference measurement taken right
+// after tuning, on the tuning workload.
+type KernelSpeedup struct {
+	Kernel  string
+	RefNs   float64
+	OptNs   float64
+	Speedup float64 // RefNs / OptNs
+}
+
+// AutotuneReport is what the sweep measured and chose; surfaced through
+// TuningReport for examples/autotuner and the -backend CLI paths.
+type AutotuneReport struct {
+	Tunings  []KernelTuning
+	Speedups []KernelSpeedup
+}
+
+var tuneReport atomic.Pointer[AutotuneReport]
+
+// TuningReport returns the optimized backend's autotune report, or ok=false
+// if the backend has not been activated (and therefore not tuned) yet.
+func TuningReport() (*AutotuneReport, bool) {
+	r := tuneReport.Load()
+	return r, r != nil
+}
+
+func (o *optBackend) ensureTuned() { o.tuneOnce.Do(o.tune) }
+
+// tuneShape is the synthetic workload: output wide enough (m=512) that every
+// candidate panel width partitions it differently, reduction deep enough
+// (k=192) that the inner loops dominate the timing.
+const (
+	tuneN, tuneK, tuneM = 48, 192, 512
+	tuneReps            = 3
+)
+
+func (o *optBackend) tune() {
+	rng := rand.New(rand.NewSource(42))
+	a := New(tuneN, tuneK)
+	RandN(a, rng, 1)
+	b := New(tuneK, tuneM)
+	RandN(b, rng, 1)
+	c := New(tuneN, tuneM)
+
+	at := New(tuneK, tuneN) // Aᵀ-shaped operand for TMatMul (k rows)
+	RandN(at, rng, 1)
+	bt := New(tuneM, tuneK) // B with rows to dot against for MatMulT
+	RandN(bt, rng, 1)
+	ct := New(tuneN, tuneM)
+
+	report := &AutotuneReport{}
+
+	mm := o.sweep("MatMul", func(w int) { o.matmulChunk(c, a, b, 0, tuneN, w) })
+	o.mmPanel = mm.Chosen
+	report.Tunings = append(report.Tunings, mm)
+
+	tm := o.sweep("TMatMul", func(w int) { o.tmatmulChunk(c, at, b, 0, tuneN, w) })
+	// TMatMul shares mmPanel with MatMul (same tile, same B panel role); if
+	// the sweeps disagree, MatMul wins — it dominates step time — but the
+	// TMatMul sweep is still reported.
+	report.Tunings = append(report.Tunings, tm)
+
+	mt := o.sweep("MatMulT", func(w int) { o.matmulTChunk(ct, a, bt, 0, tuneN, w) })
+	o.mtPanel = mt.Chosen
+	report.Tunings = append(report.Tunings, mt)
+
+	// Optimized-vs-reference on the same single-chunk workload, with the
+	// panels just chosen. Reference kernels run through their public entry
+	// (they have no chunk form); worker count is whatever the process set,
+	// identical for both sides.
+	ref := Reference.(*refBackend)
+	report.Speedups = []KernelSpeedup{
+		speedup("MatMul", func() { ref.MatMul(c, a, b) }, func() { o.MatMul(c, a, b) }),
+		speedup("MatMulT", func() { ref.MatMulT(ct, a, bt) }, func() { o.MatMulT(ct, a, bt) }),
+		speedup("TMatMul", func() { ref.TMatMul(c, at, b) }, func() { o.TMatMul(c, at, b) }),
+		speedup("Dot", func() { _ = ref.Dot(a.Data, a.Data) }, func() { _ = o.Dot(a.Data, a.Data) }),
+		speedup("ExpShift", func() { ref.ExpShift(c.Data, c.Data, 0) }, func() { o.ExpShift(c.Data, c.Data, 0) }),
+	}
+
+	tuneReport.Store(report)
+}
+
+// sweep times fn for every candidate width (best of tuneReps runs after one
+// warmup) and returns the sweep record with the argmin chosen.
+func (o *optBackend) sweep(kernel string, fn func(w int)) KernelTuning {
+	t := KernelTuning{Kernel: kernel, Candidates: panelCandidates}
+	best := -1
+	var bestNs float64
+	for _, w := range panelCandidates {
+		fn(w) // warmup: page in operands, stabilise branch predictors
+		ns := bestOf(tuneReps, func() { fn(w) })
+		t.NsPerOp = append(t.NsPerOp, ns)
+		if best < 0 || ns < bestNs {
+			best, bestNs = w, ns
+		}
+	}
+	t.Chosen = best
+	return t
+}
+
+func speedup(kernel string, refFn, optFn func()) KernelSpeedup {
+	refFn() // warmup both sides
+	optFn()
+	r := bestOf(tuneReps, refFn)
+	o := bestOf(tuneReps, optFn)
+	s := KernelSpeedup{Kernel: kernel, RefNs: r, OptNs: o}
+	if o > 0 {
+		s.Speedup = r / o
+	}
+	return s
+}
+
+func bestOf(reps int, fn func()) float64 {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		fn()
+		ns := float64(time.Since(start).Nanoseconds())
+		if r == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}

@@ -1,0 +1,257 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+// Backend is the pluggable compute substrate behind every matrix kernel in
+// the package: the linear-algebra primitives (MatMul/MatMulT/TMatMul,
+// Dot/Axpy), the softmax/exp row ops the attention kernels stream through,
+// and the fused bias+GELU pair that lets nn.Linear skip a full matrix pass.
+// Package-level functions (MatMul, Dot, SoftmaxRows, BiasGELU, …) dispatch
+// through the active backend, so every layer above — nn, attention, model,
+// serve — switches backends without code changes.
+//
+// Two implementations exist, the same design shape as model.Plan:
+//
+//   - reference — the panel-blocked kernels the repo has always shipped.
+//     Training defaults to it and its numerics are bitwise-pinned: per output
+//     element, reduction terms are accumulated in strictly ascending p order
+//     with av==0 contributions skipped (see MatMul).
+//   - optimized — register-tiled, fixed-width-unrolled microkernels plus
+//     fast float32 exp/tanh paths. Output tiling keeps every per-element
+//     reduction in a single p-ascending accumulator chain, so its results
+//     are independent of worker count and of every autotuned panel size
+//     (self-deterministic); MatMul/MatMulT/TMatMul/MatVecRows/WeightedRowSum
+//     match the reference bitwise, while Dot (multi-accumulator) and the
+//     exp/softmax/GELU paths (float32 polynomials) differ within a small
+//     stated tolerance — see DESIGN.md "Compute backends and quantized
+//     serving".
+//
+// The interface is sealed (unexported method): backends live in this
+// package, next to the parallel-for scheduler and the workspace arena their
+// kernels are written against.
+type Backend interface {
+	// Name identifies the backend ("reference", "optimized").
+	Name() string
+
+	// MatMul computes C = A·B (C pre-allocated, overwritten).
+	MatMul(c, a, b *Mat)
+	// MatMulT computes C = A·Bᵀ.
+	MatMulT(c, a, b *Mat)
+	// TMatMul computes C = Aᵀ·B.
+	TMatMul(c, a, b *Mat)
+	// Dot returns the inner product of two equal-length slices.
+	Dot(a, b []float32) float32
+	// Axpy computes y += alpha*x for equal-length slices.
+	Axpy(alpha float32, x, y []float32)
+
+	// MatVecRows computes dst[r-lo] = m.Row(r)·x for r in [lo, hi) — the
+	// batched row-gemv behind the flash/sparse tile score computation (one
+	// dispatched call per tile instead of one Dot per row).
+	MatVecRows(dst []float32, m *Mat, x []float32, lo, hi int)
+	// WeightedRowSum accumulates acc[c] += Σ_{r∈[lo,hi)} w[r-lo]·m.Row(r)[c]
+	// with r strictly ascending (a batched axpy sequence; the row order is
+	// part of the determinism contract).
+	WeightedRowSum(acc []float32, m *Mat, w []float32, lo, hi int)
+
+	// SoftmaxRows applies a numerically stable softmax to each row in place.
+	SoftmaxRows(m *Mat)
+	// ExpShift computes dst[i] = exp(src[i]+shift) over equal-length slices
+	// (the streaming-softmax primitive: shift carries the running max).
+	ExpShift(dst, src []float32, shift float32)
+
+	// BiasGELU computes, in one pass, z = u + bias (row-broadcast, written
+	// back into u) and y = GELU(z). y must not alias u.
+	BiasGELU(y, u *Mat, bias []float32)
+	// BiasGELUGrad computes dz = dy ⊙ GELU'(z) and accumulates column sums
+	// of dz into dbias (+=). dz must not alias dy or z.
+	BiasGELUGrad(dz *Mat, dbias []float32, z, dy *Mat)
+
+	// sealed marks the interface implementable only inside this package.
+	sealed()
+}
+
+// The two built-in backends. Reference is the process default; Optimized is
+// selected with SetBackend("opt") / TORCHGT_BACKEND=opt and autotunes its
+// panel sizes on first selection.
+var (
+	Reference Backend = &refBackend{}
+	Optimized Backend = newOptBackend()
+)
+
+type backendBox struct{ b Backend }
+
+var activeBackend atomic.Pointer[backendBox]
+
+func init() {
+	name := os.Getenv("TORCHGT_BACKEND")
+	b, err := backendByName(name)
+	if err != nil {
+		panic(fmt.Sprintf("tensor: TORCHGT_BACKEND=%q: %v", name, err))
+	}
+	Use(b)
+}
+
+// backendByName resolves a CLI/env spelling to a backend. The empty string
+// is the reference default.
+func backendByName(name string) (Backend, error) {
+	switch name {
+	case "", "ref", "reference":
+		return Reference, nil
+	case "opt", "optimized":
+		return Optimized, nil
+	}
+	return nil, fmt.Errorf("unknown backend %q (have: %s)", name, backendNamesList())
+}
+
+func backendNamesList() string {
+	names := BackendNames()
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// BackendNames lists the selectable backend spellings (canonical short
+// forms, as accepted by SetBackend and the -backend CLI flags).
+func BackendNames() []string { return []string{"ref", "opt"} }
+
+// Use activates b for all subsequent kernel dispatch. The optimized backend
+// autotunes its panel sizes on first activation. Safe for concurrent use
+// with running kernels: a kernel reads the active backend once per call.
+func Use(b Backend) {
+	if o, ok := b.(*optBackend); ok {
+		o.ensureTuned()
+	}
+	activeBackend.Store(&backendBox{b})
+}
+
+// SetBackend activates the backend named by a CLI/env spelling ("ref",
+// "reference", "opt", "optimized"; "" keeps the reference default). It
+// returns the previously active backend's name so callers can restore it.
+func SetBackend(name string) (prev string, err error) {
+	b, err := backendByName(name)
+	if err != nil {
+		return ActiveBackend().Name(), err
+	}
+	prev = ActiveBackend().Name()
+	Use(b)
+	return prev, nil
+}
+
+// ActiveBackend reports the backend all package-level kernels currently
+// dispatch through.
+func ActiveBackend() Backend { return activeBackend.Load().b }
+
+// Dispatching entry points. Shape validation lives here, once, so every
+// backend kernel can assume consistent operands.
+
+// MatMul computes C = A·B. C must be pre-allocated with shape A.Rows×B.Cols;
+// it is overwritten.
+//
+// Zero-skip contract (pinned by TestMatMulZeroSkipSemantics): an A element
+// that is exactly zero contributes nothing to its output row — the
+// corresponding B row is skipped entirely, so NaN/Inf values in B rows that
+// only ever meet zero A entries do NOT propagate (0·NaN is treated as a
+// skip, not as IEEE NaN). All backends implement this contract; TMatMul
+// skips symmetrically on zero Aᵀ elements. MatMulT and Dot follow plain
+// IEEE semantics (no skip).
+func MatMul(c, a, b *Mat) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	ActiveBackend().MatMul(c, a, b)
+}
+
+// MatMulT computes C = A·Bᵀ. C must be A.Rows×B.Rows — the cache-friendly
+// orientation for attention scores Q·Kᵀ.
+func MatMulT(c, a, b *Mat) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT shapes %dx%d · (%dx%d)ᵀ -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	ActiveBackend().MatMulT(c, a, b)
+}
+
+// TMatMul computes C = Aᵀ·B. C must be A.Cols×B.Cols. Used for weight
+// gradients dW = Xᵀ·dY.
+func TMatMul(c, a, b *Mat) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: TMatMul shapes (%dx%d)ᵀ · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	ActiveBackend().TMatMul(c, a, b)
+}
+
+// Dot returns the inner product of two equal-length slices.
+func Dot(a, b []float32) float32 { return ActiveBackend().Dot(a, b) }
+
+// Axpy computes y += alpha*x for equal-length slices.
+func Axpy(alpha float32, x, y []float32) { ActiveBackend().Axpy(alpha, x, y) }
+
+// MatVecRows computes dst[r-lo] = m.Row(r)·x for rows r in [lo, hi). On the
+// reference backend each element is the plain Dot of the row with x
+// (products commute exactly in IEEE, so Row·x ≡ x·Row bitwise).
+func MatVecRows(dst []float32, m *Mat, x []float32, lo, hi int) {
+	if lo < 0 || hi < lo || hi > m.Rows || len(x) != m.Cols || len(dst) < hi-lo {
+		panic(fmt.Sprintf("tensor: MatVecRows rows [%d,%d) of %dx%d, len(x)=%d len(dst)=%d",
+			lo, hi, m.Rows, m.Cols, len(x), len(dst)))
+	}
+	ActiveBackend().MatVecRows(dst, m, x, lo, hi)
+}
+
+// WeightedRowSum accumulates acc[c] += Σ w[r-lo]·m.Row(r)[c] over rows r in
+// [lo, hi), ascending. Equivalent to the axpy sequence
+// `for r { Axpy(w[r-lo], m.Row(r), acc) }` — all backends preserve that
+// per-element left-to-right accumulation order bitwise.
+func WeightedRowSum(acc []float32, m *Mat, w []float32, lo, hi int) {
+	if lo < 0 || hi < lo || hi > m.Rows || len(acc) != m.Cols || len(w) < hi-lo {
+		panic(fmt.Sprintf("tensor: WeightedRowSum rows [%d,%d) of %dx%d, len(acc)=%d len(w)=%d",
+			lo, hi, m.Rows, m.Cols, len(acc), len(w)))
+	}
+	ActiveBackend().WeightedRowSum(acc, m, w, lo, hi)
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row of m in place.
+func SoftmaxRows(m *Mat) { ActiveBackend().SoftmaxRows(m) }
+
+// ExpShift computes dst[i] = exp(src[i]+shift). dst and src must have equal
+// length (dst may alias src). It is the vectorised exponential behind the
+// flash kernel's streaming softmax.
+func ExpShift(dst, src []float32, shift float32) {
+	if len(dst) != len(src) {
+		panic("tensor: ExpShift length mismatch")
+	}
+	ActiveBackend().ExpShift(dst, src, shift)
+}
+
+// BiasGELU fuses the bias add and GELU activation of a Linear layer into a
+// single pass: u (holding X·W) becomes z = u + bias in place, and y receives
+// GELU(z). One matrix read/write pass instead of AddRowVec + a separate
+// activation sweep. y must be u's shape and must not alias it; len(bias)
+// must equal u.Cols.
+func BiasGELU(y, u *Mat, bias []float32) {
+	if !y.SameShape(u) || len(bias) != u.Cols {
+		panic(fmt.Sprintf("tensor: BiasGELU shapes y=%dx%d u=%dx%d bias=%d", y.Rows, y.Cols, u.Rows, u.Cols, len(bias)))
+	}
+	ActiveBackend().BiasGELU(y, u, bias)
+}
+
+// BiasGELUGrad is the backward of BiasGELU: dz = dy ⊙ GELU'(z), and the
+// column sums of dz are accumulated (+=) into dbias — the bias gradient —
+// in the same pass structure the unfused ColSum used (fixed row-ascending
+// order, so results are worker-count independent).
+func BiasGELUGrad(dz *Mat, dbias []float32, z, dy *Mat) {
+	if !dz.SameShape(z) || !dz.SameShape(dy) || len(dbias) != z.Cols {
+		panic(fmt.Sprintf("tensor: BiasGELUGrad shapes dz=%dx%d z=%dx%d dy=%dx%d dbias=%d",
+			dz.Rows, dz.Cols, z.Rows, z.Cols, dy.Rows, dy.Cols, len(dbias)))
+	}
+	ActiveBackend().BiasGELUGrad(dz, dbias, z, dy)
+}

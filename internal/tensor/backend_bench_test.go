@@ -1,0 +1,73 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Per-kernel backend benchmarks at a transformer-step-like size
+// (256 tokens × 128 hidden). Worker count pinned to 1 so the numbers
+// measure the microkernels, not the scheduler.
+
+func benchKernel(b *testing.B, bk Backend, run func(bk Backend, a, bm, c, cs, ct *Mat)) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, 256, 128)
+	bm := randMat(rng, 128, 128)
+	c := New(256, 128)  // A·B
+	cs := New(256, 256) // A·Aᵀ (scores shape)
+	ct := New(128, 128) // Aᵀ·A (weight-grad shape)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(bk, a, bm, c, cs, ct)
+	}
+}
+
+func BenchmarkMatMulRef(b *testing.B) {
+	benchKernel(b, Reference, func(bk Backend, a, bm, c, _, _ *Mat) { bk.MatMul(c, a, bm) })
+}
+
+func BenchmarkMatMulOpt(b *testing.B) {
+	benchKernel(b, Optimized, func(bk Backend, a, bm, c, _, _ *Mat) { bk.MatMul(c, a, bm) })
+}
+
+func BenchmarkMatMulTRef(b *testing.B) {
+	benchKernel(b, Reference, func(bk Backend, a, _, _, cs, _ *Mat) { bk.MatMulT(cs, a, a) })
+}
+
+func BenchmarkMatMulTOpt(b *testing.B) {
+	benchKernel(b, Optimized, func(bk Backend, a, _, _, cs, _ *Mat) { bk.MatMulT(cs, a, a) })
+}
+
+func BenchmarkTMatMulRef(b *testing.B) {
+	benchKernel(b, Reference, func(bk Backend, a, _, _, _, ct *Mat) { bk.TMatMul(ct, a, a) })
+}
+
+func BenchmarkTMatMulOpt(b *testing.B) {
+	benchKernel(b, Optimized, func(bk Backend, a, _, _, _, ct *Mat) { bk.TMatMul(ct, a, a) })
+}
+
+func BenchmarkSoftmaxRowsRef(b *testing.B) {
+	benchKernel(b, Reference, func(bk Backend, a, _, _, _, _ *Mat) { bk.SoftmaxRows(a) })
+}
+
+func BenchmarkSoftmaxRowsOpt(b *testing.B) {
+	benchKernel(b, Optimized, func(bk Backend, a, _, _, _, _ *Mat) { bk.SoftmaxRows(a) })
+}
+
+func BenchmarkExpShiftRef(b *testing.B) {
+	benchKernel(b, Reference, func(bk Backend, a, _, c, _, _ *Mat) { bk.ExpShift(c.Data, a.Data, -1) })
+}
+
+func BenchmarkExpShiftOpt(b *testing.B) {
+	benchKernel(b, Optimized, func(bk Backend, a, _, c, _, _ *Mat) { bk.ExpShift(c.Data, a.Data, -1) })
+}
+
+func BenchmarkBiasGELURef(b *testing.B) {
+	benchKernel(b, Reference, func(bk Backend, a, _, c, _, _ *Mat) { bk.BiasGELU(c, a, a.Row(0)) })
+}
+
+func BenchmarkBiasGELUOpt(b *testing.B) {
+	benchKernel(b, Optimized, func(bk Backend, a, _, c, _, _ *Mat) { bk.BiasGELU(c, a, a.Row(0)) })
+}

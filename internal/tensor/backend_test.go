@@ -1,0 +1,536 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// withBackend activates b for the duration of the test and restores the
+// previous backend afterwards.
+func withBackend(t *testing.T, b Backend) {
+	t.Helper()
+	prev := ActiveBackend()
+	Use(b)
+	t.Cleanup(func() { Use(prev) })
+}
+
+func TestBackendByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{"", "reference", false},
+		{"ref", "reference", false},
+		{"reference", "reference", false},
+		{"opt", "optimized", false},
+		{"optimized", "optimized", false},
+		{"gpu", "", true},
+		{"REF", "", true}, // spellings are case-sensitive
+	}
+	for _, c := range cases {
+		b, err := backendByName(c.in)
+		if c.err {
+			if err == nil {
+				t.Fatalf("backendByName(%q): want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("backendByName(%q): %v", c.in, err)
+		}
+		if b.Name() != c.want {
+			t.Fatalf("backendByName(%q) = %s, want %s", c.in, b.Name(), c.want)
+		}
+	}
+}
+
+func TestSetBackendRoundTrip(t *testing.T) {
+	withBackend(t, Reference)
+	prev, err := SetBackend("opt")
+	if err != nil || prev != "reference" {
+		t.Fatalf("SetBackend(opt) prev=%q err=%v", prev, err)
+	}
+	if ActiveBackend().Name() != "optimized" {
+		t.Fatal("opt not active")
+	}
+	if _, err := SetBackend("bogus"); err == nil {
+		t.Fatal("SetBackend(bogus) must error")
+	}
+	if ActiveBackend().Name() != "optimized" {
+		t.Fatal("failed SetBackend must not change the active backend")
+	}
+}
+
+// Satellite: the av==0 fast-path contract. Skipping the axpy when an A
+// element is zero is NOT plain IEEE semantics — 0·NaN = NaN would otherwise
+// propagate — so the intended behaviour is pinned here for every backend:
+// NaN/Inf in a B row reached only through zero A entries must not leak into
+// C, while a non-zero A entry meeting NaN/Inf must propagate it.
+func TestMatMulZeroSkipSemantics(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	for _, bk := range []Backend{Reference, Optimized} {
+		t.Run(bk.Name(), func(t *testing.T) {
+			// A row 0 is zero at columns 1,2 → B rows 1,2 (all NaN/Inf) are
+			// skipped for C row 0. A row 1 hits B row 1 with a non-zero
+			// coefficient → C row 1 is NaN.
+			a := FromSlice(2, 3, []float32{
+				2, 0, 0,
+				1, 1, 0,
+			})
+			b := FromSlice(3, 2, []float32{
+				1, 2,
+				nan, inf,
+				inf, nan,
+			})
+			c := New(2, 2)
+			bk.MatMul(c, a, b)
+			if c.At(0, 0) != 2 || c.At(0, 1) != 4 {
+				t.Fatalf("zero-skip row polluted: %v", c.Row(0))
+			}
+			if !math.IsNaN(float64(c.At(1, 0))) || !math.IsInf(float64(c.At(1, 1)), 1) {
+				t.Fatalf("non-zero path must propagate NaN/Inf: %v", c.Row(1))
+			}
+
+			// TMatMul skips symmetrically on zero Aᵀ elements: column 0 of A
+			// is zero in rows 1,2, so B's NaN rows never reach C row 0.
+			at := FromSlice(3, 2, []float32{
+				3, 1,
+				0, 1,
+				0, 0,
+			})
+			ct := New(2, 2)
+			bk.TMatMul(ct, at, b)
+			if ct.At(0, 0) != 3 || ct.At(0, 1) != 6 {
+				t.Fatalf("TMatMul zero-skip row polluted: %v", ct.Row(0))
+			}
+			if !math.IsNaN(float64(ct.At(1, 0))) {
+				t.Fatalf("TMatMul non-zero path must propagate NaN: %v", ct.Row(1))
+			}
+
+			// MatMulT and Dot follow plain IEEE semantics: zero times NaN is
+			// NaN, no skip.
+			zrow := FromSlice(1, 2, []float32{0, 0})
+			nrow := FromSlice(1, 2, []float32{nan, 1})
+			cm := New(1, 1)
+			bk.MatMulT(cm, zrow, nrow)
+			if !math.IsNaN(float64(cm.At(0, 0))) {
+				t.Fatalf("%s: MatMulT must not zero-skip (got %v)", bk.Name(), cm.At(0, 0))
+			}
+			if d := bk.Dot(zrow.Data, nrow.Data); !math.IsNaN(float64(d)) {
+				t.Fatalf("%s: Dot must not zero-skip (got %v)", bk.Name(), d)
+			}
+		})
+	}
+}
+
+// The optimized MatMul and TMatMul perform the identical per-element float
+// operation sequence as the reference (single accumulator, ascending p,
+// zero-skip), so on any one platform they must agree bitwise.
+func TestOptMatMulBitwiseEqualsRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {17, 9, 13}, {33, 65, 19}, {64, 128, 96}} {
+		n, k, m := dims[0], dims[1], dims[2]
+		a := randMat(rng, n, k)
+		// Sprinkle exact zeros so the skip path is exercised.
+		for i := 0; i < len(a.Data); i += 7 {
+			a.Data[i] = 0
+		}
+		b := randMat(rng, k, m)
+		cr, co := New(n, m), New(n, m)
+		Reference.MatMul(cr, a, b)
+		Optimized.MatMul(co, a, b)
+		if !bitwiseEqual(cr, co) {
+			t.Fatalf("MatMul dims %v: opt not bitwise equal to ref", dims)
+		}
+		tr, to := New(k, m), New(k, m)
+		at := randMat(rng, n, k)
+		bt := randMat(rng, n, m)
+		for i := 0; i < len(at.Data); i += 5 {
+			at.Data[i] = 0
+		}
+		Reference.TMatMul(tr, at, bt)
+		Optimized.TMatMul(to, at, bt)
+		if !bitwiseEqual(tr, to) {
+			t.Fatalf("TMatMul dims %v: opt not bitwise equal to ref", dims)
+		}
+		// MatMulT rides on MatVecRows, which keeps the reference Dot's
+		// per-element reduction statement — bitwise, not just tolerance.
+		mtA := randMat(rng, n, k)
+		mtB := randMat(rng, m, k)
+		mr, mo := New(n, m), New(n, m)
+		Reference.MatMulT(mr, mtA, mtB)
+		Optimized.MatMulT(mo, mtA, mtB)
+		if !bitwiseEqual(mr, mo) {
+			t.Fatalf("MatMulT dims %v: opt not bitwise equal to ref", dims)
+		}
+		// MatVecRows and WeightedRowSum directly (all remainder cases as n
+		// and m sweep odd sizes)
+		xv := make([]float32, k)
+		for i := range xv {
+			xv[i] = float32(rng.NormFloat64())
+		}
+		dstR := make([]float32, n)
+		dstO := make([]float32, n)
+		Reference.MatVecRows(dstR, mtA, xv, 0, n)
+		Optimized.MatVecRows(dstO, mtA, xv, 0, n)
+		for i := range dstR {
+			if math.Float32bits(dstR[i]) != math.Float32bits(dstO[i]) {
+				t.Fatalf("MatVecRows dims %v: element %d differs", dims, i)
+			}
+		}
+		w := make([]float32, n)
+		for i := range w {
+			w[i] = float32(rng.NormFloat64())
+		}
+		accR := make([]float32, k)
+		accO := make([]float32, k)
+		for i := range accR {
+			accR[i] = float32(rng.NormFloat64())
+			accO[i] = accR[i]
+		}
+		Reference.WeightedRowSum(accR, mtA, w, 0, n)
+		Optimized.WeightedRowSum(accO, mtA, w, 0, n)
+		for i := range accR {
+			if math.Float32bits(accR[i]) != math.Float32bits(accO[i]) {
+				t.Fatalf("WeightedRowSum dims %v: element %d differs", dims, i)
+			}
+		}
+	}
+}
+
+func bitwiseEqual(a, b *Mat) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatMulT, Dot, and the fast-math ops use different accumulation groupings
+// or float32 polynomials: equality holds only within tolerance.
+func TestOptKernelsWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randMat(rng, 23, 67)
+	b := randMat(rng, 31, 67)
+	cr, co := New(23, 31), New(23, 31)
+	Reference.MatMulT(cr, a, b)
+	Optimized.MatMulT(co, a, b)
+	if !cr.Equal(co, 1e-4) {
+		t.Fatal("MatMulT beyond tolerance")
+	}
+
+	x := make([]float32, 1023)
+	y := make([]float32, 1023)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+		y[i] = float32(rng.NormFloat64())
+	}
+	dr := Reference.Dot(x, y)
+	do := Optimized.Dot(x, y)
+	if math.Abs(float64(dr-do)) > 1e-3*(1+math.Abs(float64(dr))) {
+		t.Fatalf("Dot beyond tolerance: ref=%v opt=%v", dr, do)
+	}
+
+	sr := randMat(rng, 9, 33)
+	so := sr.Clone()
+	Reference.SoftmaxRows(sr)
+	Optimized.SoftmaxRows(so)
+	if !sr.Equal(so, 1e-5) {
+		t.Fatal("SoftmaxRows beyond tolerance")
+	}
+
+	src := make([]float32, 257)
+	for i := range src {
+		src[i] = float32(rng.NormFloat64() * 3)
+	}
+	er := make([]float32, len(src))
+	eo := make([]float32, len(src))
+	Reference.ExpShift(er, src, -1.5)
+	Optimized.ExpShift(eo, src, -1.5)
+	for i := range er {
+		rel := math.Abs(float64(er[i]-eo[i])) / math.Abs(float64(er[i]))
+		if rel > 1e-5 {
+			t.Fatalf("ExpShift rel err %v at %d", rel, i)
+		}
+	}
+}
+
+// The optimized backend's results must not depend on the worker count (each
+// output element's accumulator chain is fixed by the kernel, not the
+// schedule) nor on repetition. Bitwise, not tolerance.
+func TestOptBackendWorkerCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randMat(rng, 37, 53)
+	b := randMat(rng, 53, 41)
+	bt := randMat(rng, 41, 53)
+	base := SetWorkers(1)
+	defer SetWorkers(base)
+
+	c1 := New(37, 41)
+	Optimized.MatMul(c1, a, b)
+	ct1 := New(37, 41)
+	Optimized.MatMulT(ct1, a, bt)
+	s1 := a.Clone()
+	Optimized.SoftmaxRows(s1)
+
+	for _, w := range []int{2, 3, 8} {
+		SetWorkers(w)
+		c := New(37, 41)
+		Optimized.MatMul(c, a, b)
+		if !bitwiseEqual(c1, c) {
+			t.Fatalf("MatMul differs at %d workers", w)
+		}
+		ct := New(37, 41)
+		Optimized.MatMulT(ct, a, bt)
+		if !bitwiseEqual(ct1, ct) {
+			t.Fatalf("MatMulT differs at %d workers", w)
+		}
+		s := a.Clone()
+		Optimized.SoftmaxRows(s)
+		if !bitwiseEqual(s1, s) {
+			t.Fatalf("SoftmaxRows differs at %d workers", w)
+		}
+	}
+	// And across repeated runs at the same width.
+	c := New(37, 41)
+	Optimized.MatMul(c, a, b)
+	if !bitwiseEqual(c1, c) {
+		t.Fatal("MatMul not reproducible across runs")
+	}
+}
+
+// Panel width must be numerics-neutral: any candidate produces bitwise
+// identical output (this is what makes autotuning safe).
+func TestOptPanelWidthNumericsNeutral(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randMat(rng, 19, 83)
+	b := randMat(rng, 83, 147)
+	o := Optimized.(*optBackend)
+	want := New(19, 147)
+	o.matmulChunk(want, a, b, 0, 19, panelCandidates[0])
+	for _, w := range panelCandidates[1:] {
+		got := New(19, 147)
+		o.matmulChunk(got, a, b, 0, 19, w)
+		if !bitwiseEqual(want, got) {
+			t.Fatalf("panel width %d changed MatMul numerics", w)
+		}
+	}
+	bt := randMat(rng, 147, 83)
+	wantT := New(19, 147)
+	o.matmulTChunk(wantT, a, bt, 0, 19, panelCandidates[0])
+	for _, w := range panelCandidates[1:] {
+		got := New(19, 147)
+		o.matmulTChunk(got, a, bt, 0, 19, w)
+		if !bitwiseEqual(wantT, got) {
+			t.Fatalf("panel width %d changed MatMulT numerics", w)
+		}
+	}
+}
+
+func TestAutotuneReportAfterUse(t *testing.T) {
+	withBackend(t, Optimized)
+	rep, ok := TuningReport()
+	if !ok {
+		t.Fatal("TuningReport must be available after Use(Optimized)")
+	}
+	if len(rep.Tunings) != 3 {
+		t.Fatalf("want 3 kernel tunings, got %d", len(rep.Tunings))
+	}
+	for _, tu := range rep.Tunings {
+		found := false
+		for _, c := range tu.Candidates {
+			if c == tu.Chosen {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: chosen panel %d not among candidates %v", tu.Kernel, tu.Chosen, tu.Candidates)
+		}
+		if len(tu.NsPerOp) != len(tu.Candidates) {
+			t.Fatalf("%s: sweep incomplete", tu.Kernel)
+		}
+	}
+	if len(rep.Speedups) == 0 {
+		t.Fatal("speedup measurements missing")
+	}
+	o := Optimized.(*optBackend)
+	if o.mmPanel <= 0 || o.mtPanel <= 0 {
+		t.Fatal("panels not set")
+	}
+}
+
+// Fast float32 exp: relative error vs math.Exp below 1e-6 across the full
+// finite range, exact at the overflow/underflow clamps, NaN-transparent.
+func TestExpf32Accuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	check := func(x float32) {
+		want := math.Exp(float64(x))
+		got := float64(expf32(x))
+		if want < 1.3e-38 { // near/below normal range: expf32 flushes to zero
+			if got > 2e-38 {
+				t.Fatalf("expf32(%v) = %v, want flush toward 0", x, got)
+			}
+			return
+		}
+		if math.IsInf(want, 1) || want > math.MaxFloat32 {
+			if !math.IsInf(got, 1) && got < math.MaxFloat32/2 {
+				t.Fatalf("expf32(%v) = %v, want overflow", x, got)
+			}
+			return
+		}
+		rel := math.Abs(got-want) / want
+		if rel > 1e-6 {
+			t.Fatalf("expf32(%v): rel err %v", x, rel)
+		}
+	}
+	for x := float32(-90); x <= 90; x += 0.37 {
+		check(x)
+	}
+	for i := 0; i < 2000; i++ {
+		check(float32(rng.NormFloat64() * 20))
+	}
+	if v := expf32(float32(math.NaN())); !math.IsNaN(float64(v)) {
+		t.Fatal("expf32(NaN) must be NaN")
+	}
+	if v := expf32(0); v != 1 {
+		t.Fatalf("expf32(0) = %v", v)
+	}
+}
+
+func TestTanhf32Accuracy(t *testing.T) {
+	for x := float32(-15); x <= 15; x += 0.013 {
+		want := math.Tanh(float64(x))
+		got := float64(tanhf32(x))
+		if math.Abs(got-want) > 2e-6 {
+			t.Fatalf("tanhf32(%v): want %v got %v", x, want, got)
+		}
+	}
+	// Exact symmetry.
+	for _, x := range []float32{0.1, 1.7, 5, 12} {
+		if tanhf32(-x) != -tanhf32(x) {
+			t.Fatalf("tanhf32 not odd at %v", x)
+		}
+	}
+	if v := tanhf32(float32(math.NaN())); !math.IsNaN(float64(v)) {
+		t.Fatal("tanhf32(NaN) must be NaN")
+	}
+}
+
+// Reference BiasGELU must be bitwise identical to the unfused
+// AddRowVec + per-element float64 GELU sequence it replaced.
+func TestRefBiasGELUMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	u := randMat(rng, 13, 21)
+	bias := make([]float32, 21)
+	for j := range bias {
+		bias[j] = float32(rng.NormFloat64())
+	}
+
+	// Unfused: z = u + bias, y = GELU(z) element-wise.
+	z := u.Clone()
+	AddRowVec(z, bias)
+	yWant := New(13, 21)
+	for i, v := range z.Data {
+		yWant.Data[i] = float32(GELU(float64(v)))
+	}
+
+	uf := u.Clone()
+	y := New(13, 21)
+	Reference.BiasGELU(y, uf, bias)
+	if !bitwiseEqual(uf, z) {
+		t.Fatal("fused z differs from AddRowVec")
+	}
+	if !bitwiseEqual(y, yWant) {
+		t.Fatal("fused GELU differs from unfused")
+	}
+
+	// Backward: dz = dy ⊙ GELU'(z), dbias += colsum(dz).
+	dy := randMat(rng, 13, 21)
+	dzWant := New(13, 21)
+	for i := range z.Data {
+		dzWant.Data[i] = dy.Data[i] * float32(GELUGrad(float64(z.Data[i])))
+	}
+	dbWant := make([]float32, 21)
+	ColSum(dbWant, dzWant)
+
+	dz := New(13, 21)
+	dbias := make([]float32, 21)
+	Reference.BiasGELUGrad(dz, dbias, z, dy)
+	if !bitwiseEqual(dz, dzWant) {
+		t.Fatal("fused dz differs")
+	}
+	for j := range dbias {
+		if math.Float32bits(dbias[j]) != math.Float32bits(dbWant[j]) {
+			t.Fatalf("dbias[%d]: %v != %v", j, dbias[j], dbWant[j])
+		}
+	}
+}
+
+// Optimized BiasGELU stays within the fast-math tolerance of reference.
+func TestOptBiasGELUWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	u := randMat(rng, 11, 19)
+	bias := make([]float32, 19)
+	for j := range bias {
+		bias[j] = float32(rng.NormFloat64())
+	}
+	ur, uo := u.Clone(), u.Clone()
+	yr, yo := New(11, 19), New(11, 19)
+	Reference.BiasGELU(yr, ur, bias)
+	Optimized.BiasGELU(yo, uo, bias)
+	if !bitwiseEqual(ur, uo) {
+		t.Fatal("z must be exact (plain float32 add)")
+	}
+	if !yr.Equal(yo, 1e-5) {
+		t.Fatal("opt GELU beyond tolerance")
+	}
+
+	dy := randMat(rng, 11, 19)
+	dzr, dzo := New(11, 19), New(11, 19)
+	dbr := make([]float32, 19)
+	dbo := make([]float32, 19)
+	Reference.BiasGELUGrad(dzr, dbr, ur, dy)
+	Optimized.BiasGELUGrad(dzo, dbo, uo, dy)
+	if !dzr.Equal(dzo, 1e-5) {
+		t.Fatal("opt GELU grad beyond tolerance")
+	}
+	for j := range dbr {
+		if math.Abs(float64(dbr[j]-dbo[j])) > 1e-4 {
+			t.Fatalf("dbias[%d] beyond tolerance: %v vs %v", j, dbr[j], dbo[j])
+		}
+	}
+}
+
+// Package-level dispatchers must route through the active backend.
+func TestDispatchFollowsActiveBackend(t *testing.T) {
+	withBackend(t, Optimized)
+	if ActiveBackend().Name() != "optimized" {
+		t.Fatal("Use failed")
+	}
+	rng := rand.New(rand.NewSource(18))
+	a := randMat(rng, 5, 6)
+	b := randMat(rng, 6, 4)
+	c := New(5, 4)
+	MatMul(c, a, b) // must not panic, runs on opt
+	want := New(5, 4)
+	Optimized.MatMul(want, a, b)
+	if !bitwiseEqual(c, want) {
+		t.Fatal("dispatch did not use the optimized backend")
+	}
+}
+
+func TestExpShiftLengthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ExpShift(make([]float32, 3), make([]float32, 4), 0)
+}

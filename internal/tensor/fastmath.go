@@ -1,0 +1,105 @@
+package tensor
+
+import "math"
+
+// Fast float32 transcendentals for the optimized backend. Pure functions of
+// their inputs — no table lookups, no mutable state — so results are exactly
+// reproducible across runs and worker counts (the backend's
+// self-determinism contract). Accuracy is traded against the float64
+// math.Exp/math.Tanh reference: relative error stays below ~3e-7 for exp and
+// ~1e-6 for tanh/GELU across the ranges attention and FFN activations
+// produce, comfortably inside the optimized backend's stated 1e-4 kernel
+// tolerance.
+
+const (
+	log2e = 1.4426950408889634
+	// Cody–Waite split of ln 2: the high part carries only 10 mantissa bits
+	// (710/1024), so n·ln2Hi is exact in float32 for every |n| ≤ 127 and the
+	// range reduction cancels without error.
+	ln2Hi   = 0.693359375
+	ln2Lo   = -2.12194440e-4
+	expMaxF = 89.0   // beyond this float32 exp surely overflows
+	expMinF = -87.33 // below this the float32 result is subnormal
+)
+
+// expf32 computes e^x in float32: range reduction x = n·ln2 + r with
+// |r| ≤ ln2/2, a degree-5 minimax-style polynomial for e^r, then a scalbn by
+// bit surgery on the exponent field. Clamps at the float32 boundaries:
+// overflow to +Inf above 88, flush to zero below −87.33 — results there
+// would be subnormal (< 2⁻¹²⁶ ≈ 1.2e-38), far beneath anything a shifted
+// softmax term contributes, and flushing keeps the scalbn exponent strictly
+// normal.
+func expf32(x float32) float32 {
+	if x != x { // NaN
+		return x
+	}
+	if x > expMaxF {
+		return float32(math.Inf(1))
+	}
+	if x < expMinF {
+		return 0
+	}
+	// n = round(x / ln2)
+	fn := x*log2e + 0.5
+	if x < 0 {
+		fn = x*log2e - 0.5
+	}
+	n := int32(fn)
+	// r = x - n·ln2 in two parts to keep r accurate.
+	r := x - float32(n)*ln2Hi
+	r -= float32(n) * ln2Lo
+	// e^r ≈ 1 + r + r²·P(r) for |r| ≤ ln2/2, with the classic single-
+	// precision minimax coefficients (rel err ~1e-7, versus ~2e-6 for the
+	// same-degree Taylor truncation at the reduction boundary).
+	r2 := r * r
+	q := ((((1.9875691500e-4*r+1.3981999507e-3)*r+8.3334519073e-3)*r+
+		4.1665795894e-2)*r+1.6666665459e-1)*r + 5.0000001201e-1
+	p := 1 + r + r2*q
+	// p · 2^n via exponent-field construction. The clamps above keep
+	// n ∈ [−126, 128]; n = 128 straddles the overflow boundary (the result
+	// is finite iff p < MaxFloat32/2¹²⁸), so that case scales in two exact
+	// 2⁶⁴ steps and lets float32 rounding decide between finite and +Inf.
+	e := n + 127
+	if e >= 255 {
+		return p * math.Float32frombits(uint32(e-64)<<23) * math.Float32frombits(uint32(64+127)<<23)
+	}
+	return p * math.Float32frombits(uint32(e)<<23)
+}
+
+// tanhf32 computes tanh(t) via e^{2t}: tanh(t) = 1 − 2/(e^{2t}+1), with the
+// sign folded out so the exponential argument is non-positive (best accuracy
+// region of expf32) and symmetric inputs give exactly symmetric outputs.
+func tanhf32(t float32) float32 {
+	if t != t {
+		return t
+	}
+	neg := t < 0
+	if neg {
+		t = -t
+	}
+	var y float32
+	if t > 10 { // tanh saturates: 1 - 2e^{-2t} < ulp away from 1
+		y = 1
+	} else {
+		e := expf32(-2 * t)
+		y = 1 - 2*e/(1+e)
+	}
+	if neg {
+		return -y
+	}
+	return y
+}
+
+// geluf32 is the float32 tanh-approximation GELU used by the optimized
+// backend's fused path.
+func geluf32(x float32) float32 {
+	return 0.5 * x * (1 + tanhf32(float32(geluC)*(x+0.044715*x*x*x)))
+}
+
+// geluGradf32 is d/dx geluf32.
+func geluGradf32(x float32) float32 {
+	inner := float32(geluC) * (x + 0.044715*x*x*x)
+	t := tanhf32(inner)
+	dInner := float32(geluC) * (1 + 3*0.044715*x*x)
+	return 0.5*(1+t) + 0.5*x*(1-t*t)*dInner
+}

@@ -1,149 +1,12 @@
 package tensor
 
-import (
-	"fmt"
-	"math"
-)
+import "math"
 
-// blockPanel is the shared-operand panel height of the blocked matmul
-// kernels: the loops over the reduction (or broadcast) dimension are tiled so
-// that a panel of blockPanel rows of the shared operand stays cache-resident
-// while every row of the worker's chunk consumes it. 128 rows × typical
-// hidden widths keeps a panel well inside L2 without starving L1.
-const blockPanel = 128
-
-// MatMul computes C = A·B. C must be pre-allocated with shape A.Rows×B.Cols;
-// it is overwritten. The kernel is parallelised over rows of A and blocked
-// over panels of B: for each panel of blockPanel rows of B, every row of the
-// chunk streams the panel with an ikj/axpy inner loop, so the panel is read
-// from cache (hi−lo) times instead of main memory. Per-element summation
-// order is unchanged from the unblocked kernel (p strictly ascending per
-// output row), so results are bitwise identical.
-func MatMul(c, a, b *Mat) {
-	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
-	}
-	n, k := a.Rows, a.Cols
-	ParallelFor(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c.Row(i)
-			for x := range ci {
-				ci[x] = 0
-			}
-		}
-		for p0 := 0; p0 < k; p0 += blockPanel {
-			p1 := p0 + blockPanel
-			if p1 > k {
-				p1 = k
-			}
-			for i := lo; i < hi; i++ {
-				ai := a.Row(i)
-				ci := c.Row(i)
-				for p := p0; p < p1; p++ {
-					av := ai[p]
-					if av == 0 {
-						continue
-					}
-					axpy(av, b.Row(p), ci)
-				}
-			}
-		}
-	})
-}
-
-// MatMulT computes C = A·Bᵀ. C must be A.Rows×B.Rows. The innermost loop is a
-// dot product over contiguous rows of both A and B — the cache-friendly
-// orientation for attention scores Q·Kᵀ — and the j loop is blocked into
-// panels of B rows reused across the chunk's A rows.
-func MatMulT(c, a, b *Mat) {
-	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulT shapes %dx%d · (%dx%d)ᵀ -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
-	}
-	m := b.Rows
-	ParallelFor(a.Rows, func(lo, hi int) {
-		for j0 := 0; j0 < m; j0 += blockPanel {
-			j1 := j0 + blockPanel
-			if j1 > m {
-				j1 = m
-			}
-			for i := lo; i < hi; i++ {
-				ai := a.Row(i)
-				ci := c.Row(i)
-				for j := j0; j < j1; j++ {
-					ci[j] = Dot(ai, b.Row(j))
-				}
-			}
-		}
-	})
-}
-
-// TMatMul computes C = Aᵀ·B. C must be A.Cols×B.Cols. Used for weight
-// gradients dW = Xᵀ·dY. Parallelised over columns of A (rows of C) and
-// blocked over panels of A/B rows so both operand panels stay cache-resident
-// across the chunk. Summation order per output element is unchanged
-// (p strictly ascending), keeping results bitwise identical.
-func TMatMul(c, a, b *Mat) {
-	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: TMatMul shapes (%dx%d)ᵀ · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
-	}
-	ParallelFor(c.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c.Row(i)
-			for x := range ci {
-				ci[x] = 0
-			}
-		}
-		for p0 := 0; p0 < a.Rows; p0 += blockPanel {
-			p1 := p0 + blockPanel
-			if p1 > a.Rows {
-				p1 = a.Rows
-			}
-			for i := lo; i < hi; i++ {
-				ci := c.Row(i)
-				for p := p0; p < p1; p++ {
-					av := a.Data[p*a.Cols+i]
-					if av == 0 {
-						continue
-					}
-					axpy(av, b.Row(p), ci)
-				}
-			}
-		}
-	})
-}
-
-// Dot returns the inner product of two equal-length slices.
-func Dot(a, b []float32) float32 {
-	var s float32
-	// 4-way unrolled; bounds already equal by construction.
-	n := len(a)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		s += a[i]*b[i] + a[i+1]*b[i+1] + a[i+2]*b[i+2] + a[i+3]*b[i+3]
-	}
-	for ; i < n; i++ {
-		s += a[i] * b[i]
-	}
-	return s
-}
-
-// axpy computes y += alpha*x.
-func axpy(alpha float32, x, y []float32) {
-	n := len(y)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		y[i] += alpha * x[i]
-		y[i+1] += alpha * x[i+1]
-		y[i+2] += alpha * x[i+2]
-		y[i+3] += alpha * x[i+3]
-	}
-	for ; i < n; i++ {
-		y[i] += alpha * x[i]
-	}
-}
-
-// Axpy computes y += alpha*x for equal-length slices (exported for kernels).
-func Axpy(alpha float32, x, y []float32) { axpy(alpha, x, y) }
+// Element-wise and row/column ops shared by all backends. The matrix kernels
+// (MatMul, MatMulT, TMatMul, Dot, Axpy, SoftmaxRows, ExpShift, BiasGELU,
+// BiasGELUGrad) live in backend.go and dispatch through the active Backend;
+// everything here is memory-bound bookkeeping with a single canonical
+// implementation.
 
 // Add computes c = a + b element-wise (c may alias a or b).
 func Add(c, a, b *Mat) {
@@ -203,7 +66,8 @@ func AddRowVec(m *Mat, v []float32) {
 }
 
 // ColSum accumulates the column sums of m into out (len = m.Cols), adding to
-// existing values.
+// existing values. Serial and row-ascending by design: the fixed accumulation
+// order keeps bias gradients worker-count independent.
 func ColSum(out []float32, m *Mat) {
 	if len(out) != m.Cols {
 		panic("tensor: ColSum length mismatch")
@@ -214,15 +78,6 @@ func ColSum(out []float32, m *Mat) {
 			out[j] += v
 		}
 	}
-}
-
-// SoftmaxRows applies a numerically stable softmax to each row of m in place.
-func SoftmaxRows(m *Mat) {
-	ParallelFor(m.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			SoftmaxInPlace(m.Row(i))
-		}
-	})
 }
 
 // SoftmaxInPlace applies softmax to a single vector.
