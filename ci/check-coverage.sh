@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI coverage gate: run the short-mode test suite with a coverage profile and
+# fail if total statement coverage drops below the floor recorded in
+# ci/coverage-floor.txt. Raise the floor when coverage durably improves;
+# lowering it needs a justification in the PR. Run from the repository root.
+set -euo pipefail
+
+PROFILE="${PROFILE:-coverage.out}"
+FLOOR="$(cat ci/coverage-floor.txt)"
+
+go test -short -count=1 -coverprofile="$PROFILE" ./...
+TOTAL="$(go tool cover -func="$PROFILE" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+
+echo "total statement coverage: ${TOTAL}% (floor: ${FLOOR}%)"
+awk -v total="$TOTAL" -v floor="$FLOOR" 'BEGIN {
+    if (total + 0 < floor + 0) {
+        printf "coverage %.1f%% fell below the %.1f%% floor\n", total, floor
+        exit 1
+    }
+}'

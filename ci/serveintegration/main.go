@@ -1,0 +1,374 @@
+// serveintegration drives a running torchgt-serve control plane end to end
+// for the CI serve-integration lane. It is deliberately a separate client
+// process speaking plain HTTP: everything it asserts is observable by any
+// operator's tooling, not by reaching into the server.
+//
+// Phase "swap" (the default):
+//
+//  1. wait for /healthz to go ready
+//  2. run closed-loop /predict load and, mid-load, publish a second snapshot
+//     version over HTTP and hot-swap to it — every request must return 200,
+//     generations must be monotone, and within one generation the probs for
+//     a node must be bitwise identical
+//  3. blast an overload burst and require 429s with Retry-After
+//  4. scrape /metrics and require the counters to match the traffic this
+//     driver generated: requests_total == its 200 count, shed_total == its
+//     429 count, generation == the post-swap generation
+//
+// Phase "expect-gen" re-scrapes /metrics and requires torchgt_generation to
+// have reached -gen (used after the SIGHUP reload in ci/serve-integration.sh).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var samplePat = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+]?[0-9.eE+Na]+$`)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "serveintegration: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+type predictResp struct {
+	Node       int32     `json:"node"`
+	Class      int32     `json:"class"`
+	Probs      []float32 `json:"probs"`
+	Generation uint64    `json:"generation"`
+}
+
+func main() {
+	addr := flag.String("addr", ":18080", "server address")
+	model := flag.String("model", "default", "model name")
+	snapshot2 := flag.String("snapshot2", "", "second snapshot to publish + swap to mid-load (phase swap)")
+	phase := flag.String("phase", "swap", "swap | expect-gen")
+	gen := flag.Uint64("gen", 0, "generation to require (phase expect-gen)")
+	requests := flag.Int("requests", 200, "closed-loop requests per load worker")
+	workers := flag.Int("workers", 4, "closed-loop load workers")
+	nodes := flag.Int("nodes", 512, "node id range to cycle through")
+	flag.Parse()
+
+	base := *addr
+	if strings.HasPrefix(base, ":") {
+		base = "localhost" + base
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &client{base: base, model: *model, http: &http.Client{Timeout: 60 * time.Second}}
+
+	c.waitReady(30 * time.Second)
+	switch *phase {
+	case "swap":
+		if *snapshot2 == "" {
+			fail("-snapshot2 is required for phase swap")
+		}
+		c.runSwapPhase(*snapshot2, *workers, *requests, *nodes)
+	case "expect-gen":
+		c.expectGeneration(*gen, 30*time.Second)
+	default:
+		fail("unknown -phase %q", *phase)
+	}
+}
+
+type client struct {
+	base  string
+	model string
+	http  *http.Client
+
+	ok    atomic.Int64 // 200 /predict responses across all phases
+	sheds atomic.Int64 // 429 /predict responses across all phases
+}
+
+func (c *client) waitReady(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := c.http.Get(c.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			fail("server at %s never became ready", c.base)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// predict runs one request, counting 200s and 429s. It returns (resp, true)
+// only for 200.
+func (c *client) predict(node int) (predictResp, bool) {
+	url := fmt.Sprintf("%s/predict?node=%d&model=%s", c.base, node, c.model)
+	resp, err := c.http.Get(url)
+	if err != nil {
+		fail("predict: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var pr predictResp
+		if err := json.Unmarshal(body, &pr); err != nil {
+			fail("predict: bad body %q: %v", body, err)
+		}
+		c.ok.Add(1)
+		return pr, true
+	case http.StatusTooManyRequests:
+		if resp.Header.Get("Retry-After") == "" {
+			fail("429 without Retry-After header")
+		}
+		c.sheds.Add(1)
+		return predictResp{}, false
+	default:
+		fail("predict node %d: unexpected %s: %s", node, resp.Status, body)
+	}
+	return predictResp{}, false
+}
+
+func (c *client) runSwapPhase(snapshot2 string, workers, requests, nodes int) {
+	startGen := c.scrapeGeneration()
+	fmt.Printf("serving generation %d; driving %d×%d requests with a mid-load hot swap\n", startGen, workers, requests)
+
+	// Closed-loop load. Every response must be 200 (zero downtime), each
+	// worker must observe monotone generations, and within one generation a
+	// node's probs must be bitwise stable.
+	var mu sync.Mutex
+	perGen := map[uint64]map[int32]string{} // gen → node → probs JSON
+	var maxGen atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			last := uint64(0)
+			for i := 0; i < requests; i++ {
+				node := (w*7919 + i*31) % nodes
+				pr, ok := c.predict(node)
+				if !ok {
+					fail("closed-loop request shed: load workers must never exceed the admission bound")
+				}
+				if pr.Generation < last {
+					fail("generation went backwards: %d after %d", pr.Generation, last)
+				}
+				last = pr.Generation
+				for g := maxGen.Load(); pr.Generation > g; g = maxGen.Load() {
+					if maxGen.CompareAndSwap(g, pr.Generation) {
+						break
+					}
+				}
+				probs, _ := json.Marshal(pr.Probs)
+				mu.Lock()
+				byNode, ok2 := perGen[pr.Generation]
+				if !ok2 {
+					byNode = map[int32]string{}
+					perGen[pr.Generation] = byNode
+				}
+				if prev, seen := byNode[pr.Node]; seen && prev != string(probs) {
+					mu.Unlock()
+					fail("generation %d not deterministic for node %d:\n%s\nvs\n%s", pr.Generation, pr.Node, prev, probs)
+				}
+				byNode[pr.Node] = string(probs)
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Mid-load: publish snapshot2 as the next version and swap to it.
+	time.Sleep(300 * time.Millisecond)
+	blob, err := os.ReadFile(snapshot2)
+	if err != nil {
+		fail("read %s: %v", snapshot2, err)
+	}
+	var pub struct {
+		Version int `json:"version"`
+	}
+	c.postJSON("/publish?model="+c.model, bytes.NewReader(blob), &pub)
+	var sw struct {
+		Generation uint64 `json:"generation"`
+	}
+	c.postJSON(fmt.Sprintf("/swap?model=%s&version=%d", c.model, pub.Version), nil, &sw)
+	fmt.Printf("hot-swapped to version %d (generation %d) under load\n", pub.Version, sw.Generation)
+	if sw.Generation != startGen+1 {
+		fail("swap generation: got %d, want %d", sw.Generation, startGen+1)
+	}
+	wg.Wait()
+
+	if got := maxGen.Load(); got != sw.Generation {
+		fail("load never reached the swapped generation: max seen %d, want %d", got, sw.Generation)
+	}
+	if len(perGen) < 2 {
+		fail("load observed %d generations, want both sides of the swap", len(perGen))
+	}
+	// The two generations must actually answer differently somewhere —
+	// otherwise the swap test can't tell the versions apart.
+	differ := false
+	for node, probs := range perGen[startGen] {
+		if after, ok := perGen[sw.Generation][node]; ok && after != probs {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		fail("old and new generations answered identically on every shared node; snapshot2 must differ")
+	}
+	fmt.Printf("zero-downtime swap verified: %d requests OK, generations %d→%d bitwise stable within themselves\n",
+		c.ok.Load(), startGen, sw.Generation)
+
+	// Overload burst: far more concurrent requests than the admission bound.
+	var burst sync.WaitGroup
+	for i := 0; i < 96; i++ {
+		burst.Add(1)
+		go func(i int) {
+			defer burst.Done()
+			c.predict(i % nodes)
+		}(i)
+	}
+	burst.Wait()
+	if c.sheds.Load() == 0 {
+		fail("overload burst produced no 429s; admission control is not shedding")
+	}
+	fmt.Printf("admission control verified: %d shed with 429 + Retry-After\n", c.sheds.Load())
+
+	c.checkMetrics(sw.Generation, pub.Version)
+}
+
+func (c *client) postJSON(path string, body io.Reader, out any) {
+	resp, err := c.http.Post(c.base+path, "application/octet-stream", body)
+	if err != nil {
+		fail("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fail("POST %s: %s: %s", path, resp.Status, strings.TrimSpace(string(b)))
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		fail("POST %s: bad body %q: %v", path, b, err)
+	}
+}
+
+// scrape fetches /metrics, validates content type and text-format
+// well-formedness, and returns the samples.
+func (c *client) scrape() map[string]float64 {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		fail("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		fail("metrics content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	samples := map[string]float64{}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || (parts[3] != "counter" && parts[3] != "gauge") {
+				fail("bad TYPE line %q", line)
+			}
+			if parts[3] == "counter" && !strings.HasSuffix(parts[2], "_total") {
+				fail("counter %q does not end in _total", parts[2])
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if !samplePat.MatchString(line) {
+			fail("unparseable metrics line %q", line)
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			fail("bad sample value in %q", line)
+		}
+		name := line[:i]
+		fam := name
+		if j := strings.IndexByte(fam, '{'); j >= 0 {
+			fam = fam[:j]
+		}
+		if !typed[fam] {
+			fail("sample %q has no preceding # TYPE", name)
+		}
+		samples[name] = v
+	}
+	return samples
+}
+
+func (c *client) scrapeGeneration() uint64 {
+	v, ok := c.scrape()[fmt.Sprintf("torchgt_generation{model=%q}", c.model)]
+	if !ok {
+		fail("torchgt_generation{model=%q} missing from /metrics", c.model)
+	}
+	return uint64(v)
+}
+
+// checkMetrics requires the scraped counters to equal the traffic this
+// driver generated — it is the only traffic source, so any drift means the
+// server is counting wrong.
+func (c *client) checkMetrics(wantGen uint64, wantVersion int) {
+	s := c.scrape()
+	label := fmt.Sprintf("{model=%q}", c.model)
+	expect := map[string]float64{
+		"torchgt_ready":                      1,
+		"torchgt_generation" + label:         float64(wantGen),
+		"torchgt_active_version" + label:     float64(wantVersion),
+		"torchgt_published_versions" + label: float64(wantVersion),
+		"torchgt_requests_total" + label:     float64(c.ok.Load()),
+		"torchgt_shed_total" + label:         float64(c.sheds.Load()),
+	}
+	for name, want := range expect {
+		got, ok := s[name]
+		if !ok {
+			fail("metric %s missing from /metrics", name)
+		}
+		if got != want {
+			fail("metric %s = %v, want %v (driver-observed traffic)", name, got, want)
+		}
+	}
+	if s["torchgt_ego_cache_misses_total"] <= 0 {
+		fail("ego cache reported no misses after fresh traffic")
+	}
+	fmt.Printf("metrics verified: requests_total=%d shed_total=%d generation=%d\n",
+		c.ok.Load(), c.sheds.Load(), wantGen)
+}
+
+// expectGeneration polls /metrics until the model's generation reaches want
+// and a predict at that generation succeeds (the SIGHUP-reload check).
+func (c *client) expectGeneration(want uint64, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.scrapeGeneration() >= want {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail("generation never reached %d (at %d)", want, c.scrapeGeneration())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	pr, ok := c.predict(1)
+	for !ok { // the reload may briefly shed under its own drain; retry
+		time.Sleep(50 * time.Millisecond)
+		pr, ok = c.predict(1)
+	}
+	if pr.Generation < want {
+		fail("post-reload predict answered generation %d, want >= %d", pr.Generation, want)
+	}
+	fmt.Printf("reload verified: generation %d live\n", pr.Generation)
+}

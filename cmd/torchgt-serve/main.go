@@ -9,8 +9,17 @@
 //	torchgt-serve -data file://real.tgds -epochs 10                   # serve ingested data
 //	torchgt-serve -snapshot model.snap -http :8080                    # HTTP serving
 //	torchgt-serve -epochs 10 -save-snapshot model.snap -loads 200,800 # train, save, sweep
+//	torchgt-serve -epochs 10 -save-snapshot model.snap -train-only    # train, save, exit
 //	torchgt-serve -quant int8 -save-snapshot model-int8.snap          # quantized snapshot
 //	torchgt-serve -backend opt -quant bf16 -loads 200,800             # quantized serving path
+//
+// HTTP mode serves the full control plane (a Registry): the model named by
+// -model gets the loaded/trained snapshot published as version 1 and swapped
+// live. New versions roll out with zero downtime, three ways:
+//
+//	torchgt-serve -swap :8080 -model arxiv -snapshot v2.snap   # publish v2 + swap to it
+//	torchgt-serve -swap :8080 -model arxiv@1                   # roll back to version 1
+//	kill -HUP <pid>                                            # re-read -snapshot, publish + swap
 //
 // -quant int8|bf16 re-encodes the snapshot's weights for compact storage
 // (int8: per-output-channel scales; bf16: truncated float32) with a
@@ -19,10 +28,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,22 +58,40 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	method := flag.String("method", "torchgt", "training method for the quick train")
 	epochs := flag.Int("epochs", 10, "training epochs before serving")
-	snapshotPath := flag.String("snapshot", "", "load a frozen snapshot instead of training")
+	snapshotPath := flag.String("snapshot", "", "load a frozen snapshot instead of training (SIGHUP re-reads it in -http mode)")
 	saveSnapshot := flag.String("save-snapshot", "", "write the frozen snapshot to this path")
+	trainOnly := flag.Bool("train-only", false, "obtain + save the snapshot, then exit without serving")
 	backend := flag.String("backend", "", "compute backend: ref (bitwise-pinned default) | opt (autotuned microkernels)")
 	quant := flag.String("quant", "", "quantize the snapshot before serving/saving: none | int8 | bf16")
 
 	workers := flag.Int("workers", 0, "replica workers (0 = default)")
+	minWorkers := flag.Int("min-workers", 0, "replica-scaling floor (0 = fixed pool at -workers)")
+	maxWorkers := flag.Int("max-workers", 0, "replica-scaling ceiling (0 = fixed pool at -workers)")
 	batch := flag.Int("batch", 16, "max batch size (flush-on-size trigger)")
 	deadline := flag.Duration("deadline", 2*time.Millisecond, "max batching delay (flush-on-deadline trigger)")
 	mode := flag.String("mode", "sparse", "attention kernel: sparse | dense | flash | flash-bf16 | cluster-sparse | kernelized")
 	hops := flag.Int("hops", 2, "ego-context BFS radius per request")
 	ctx := flag.Int("ctx", 32, "max ego-context size per request")
+	maxPending := flag.Int("max-pending", 0, "admission bound per model: requests beyond it shed with 429 (0 = default)")
+	cacheCap := flag.Int("cache-cap", 0, "shared ego-context cache entries (0 = default)")
 
 	httpAddr := flag.String("http", "", "serve HTTP on this address instead of running the load sweep")
+	modelSpec := flag.String("model", "default", "model name, optionally name@version (version used by -swap rollbacks)")
+	swapURL := flag.String("swap", "", "client mode: roll out against a running server at this address, then exit")
 	loads := flag.String("loads", "200,1000,4000", "comma-separated offered loads (requests/second)")
 	dur := flag.Duration("duration", 2*time.Second, "duration per offered load")
 	flag.Parse()
+
+	modelName, modelVersion, err := parseModelSpec(*modelSpec)
+	if err != nil {
+		fail(err)
+	}
+	if *swapURL != "" {
+		if err := runSwapClient(*swapURL, modelName, modelVersion, *snapshotPath); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	m, err := torchgt.ParseServeMode(*mode)
 	if err != nil {
@@ -129,11 +159,25 @@ func main() {
 		}
 		fmt.Printf("snapshot written to %s\n", *saveSnapshot)
 	}
+	if *trainOnly {
+		if *saveSnapshot == "" {
+			fail(fmt.Errorf("-train-only needs -save-snapshot"))
+		}
+		return
+	}
 
-	srv, err := torchgt.NewServer(snap, ds, torchgt.ServeOptions{
-		Workers: *workers, MaxBatch: *batch, MaxDelay: *deadline,
-		Mode: m, CtxHops: *hops, CtxSize: *ctx,
-	})
+	opts := torchgt.ServeOptions{
+		Workers: *workers, MinWorkers: *minWorkers, MaxWorkers: *maxWorkers,
+		MaxBatch: *batch, MaxDelay: *deadline,
+		Mode: m, CtxHops: *hops, CtxSize: *ctx, CacheCap: *cacheCap,
+	}
+
+	if *httpAddr != "" {
+		serveHTTP(*httpAddr, modelName, *snapshotPath, ds, snap, opts, *maxPending, *cacheCap)
+		return
+	}
+
+	srv, err := torchgt.NewServer(snap, ds, opts)
 	if err != nil {
 		fail(err)
 	}
@@ -141,11 +185,6 @@ func main() {
 	o := srv.Options()
 	fmt.Printf("server: %d workers, batch≤%d, deadline %s, %s kernel, ctx %d nodes\n",
 		o.Workers, o.MaxBatch, o.MaxDelay, o.Mode, o.CtxSize)
-
-	if *httpAddr != "" {
-		serveHTTP(*httpAddr, srv)
-		return
-	}
 
 	rates, err := parseLoads(*loads)
 	if err != nil {
@@ -172,24 +211,120 @@ func main() {
 		st.Requests, st.Batches, st.AvgBatchSize, st.FlushFull, st.FlushDeadline)
 }
 
-// serveHTTP runs the HTTP front end until SIGINT/SIGTERM, then shuts down
-// gracefully: in-flight HTTP requests complete via http.Server.Shutdown, the
-// engine drains its queue (drained batches are counted separately in
-// Stats.FlushShutdown, visible on /stats until the listener stops), and the
-// final counters are printed.
-func serveHTTP(addr string, srv *torchgt.Server) {
+// parseModelSpec splits "name" or "name@version".
+func parseModelSpec(s string) (string, int, error) {
+	name, ver, found := strings.Cut(s, "@")
+	if name == "" {
+		return "", 0, fmt.Errorf("empty model name in -model %q", s)
+	}
+	if !found {
+		return name, 0, nil
+	}
+	v, err := strconv.Atoi(ver)
+	if err != nil || v < 0 {
+		return "", 0, fmt.Errorf("bad version in -model %q (want name@N)", s)
+	}
+	return name, v, nil
+}
+
+// runSwapClient rolls a running server forward (or back) and exits: with a
+// snapshot path it publishes the snapshot as a new version and swaps to it;
+// without one it swaps to the version named in -model (0 = latest).
+func runSwapClient(addr, model string, version int, snapshotPath string) error {
+	base := addr
+	if strings.HasPrefix(base, ":") {
+		base = "localhost" + base
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	if snapshotPath != "" {
+		blob, err := os.ReadFile(snapshotPath)
+		if err != nil {
+			return err
+		}
+		var pub struct {
+			Version int `json:"version"`
+		}
+		if err := postJSON(client, base+"/publish?model="+model, bytes.NewReader(blob), &pub); err != nil {
+			return fmt.Errorf("publish %s: %w", snapshotPath, err)
+		}
+		fmt.Printf("published %s as %s version %d\n", snapshotPath, model, pub.Version)
+		version = pub.Version
+	}
+	var sw struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := postJSON(client, fmt.Sprintf("%s/swap?model=%s&version=%d", base, model, version), nil, &sw); err != nil {
+		return fmt.Errorf("swap: %w", err)
+	}
+	fmt.Printf("swapped %s to version %d: generation %d\n", model, version, sw.Generation)
+	return nil
+}
+
+func postJSON(client *http.Client, url string, body io.Reader, out any) error {
+	resp, err := client.Post(url, "application/octet-stream", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	return json.Unmarshal(b, out)
+}
+
+// serveHTTP runs the registry control plane until SIGINT/SIGTERM: the
+// snapshot is published as version 1 of the named model and swapped live, and
+// /publish + /swap stay open for zero-downtime rollouts. SIGHUP re-reads the
+// -snapshot path (when one was given), publishes it as the next version and
+// swaps to it — the classic config-reload signal, applied to weights.
+// Shutdown drains in-flight HTTP requests via http.Server.Shutdown, then
+// closes the registry (draining every model's replica pool).
+func serveHTTP(addr, model, snapshotPath string, ds *torchgt.NodeDataset, snap *torchgt.Snapshot, opts torchgt.ServeOptions, maxPending, cacheCap int) {
+	reg := torchgt.NewServeRegistry(cacheCap)
+	if err := reg.Register(model, ds, torchgt.ServeModelOptions{Serve: opts, MaxPending: maxPending}); err != nil {
+		fail(err)
+	}
+	ver, err := reg.Publish(model, snap)
+	if err != nil {
+		fail(err)
+	}
+	gen, err := reg.Swap(model, ver)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("model %s: version %d live (generation %d)\n", model, ver, gen)
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
 
-	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	hs := &http.Server{Addr: addr, Handler: reg.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Printf("listening on %s (GET /predict?node=N, /stats, /healthz); SIGINT drains and exits\n", addr)
+	fmt.Printf("listening on %s (/predict, /publish, /swap, /models, /stats, /healthz, /metrics); SIGHUP reloads, SIGINT drains and exits\n", addr)
 
-	select {
-	case err := <-errCh:
-		fail(err)
-	case <-ctx.Done():
+	for {
+		select {
+		case err := <-errCh:
+			fail(err)
+		case <-hup:
+			if snapshotPath == "" {
+				fmt.Fprintln(os.Stderr, "torchgt-serve: SIGHUP ignored: no -snapshot path to reload")
+				continue
+			}
+			if err := reloadSnapshot(reg, model, snapshotPath); err != nil {
+				fmt.Fprintln(os.Stderr, "torchgt-serve: reload:", err)
+			}
+			continue
+		case <-ctx.Done():
+		}
+		break
 	}
 	fmt.Println("\nshutting down: draining in-flight requests...")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
@@ -200,10 +335,31 @@ func serveHTTP(addr string, srv *torchgt.Server) {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "torchgt-serve:", err)
 	}
-	srv.Close() // answers everything still queued, counted as FlushShutdown
-	st := srv.Stats()
-	fmt.Printf("drained: %d requests, %d batches (%d shutdown flushes, %d cancelled)\n",
-		st.Requests, st.Batches, st.FlushShutdown, st.Cancelled)
+	st := reg.Stats()
+	reg.Close() // drains every model's replica pool
+	for _, ms := range st.Models {
+		fmt.Printf("drained %s: generation %d, %d admitted, %d shed, %d engine requests\n",
+			ms.Name, ms.Generation, ms.Admitted, ms.Shed, ms.Engine.Requests)
+	}
+}
+
+// reloadSnapshot is the SIGHUP path: re-read the snapshot file, publish it as
+// the next version and swap traffic to it.
+func reloadSnapshot(reg *torchgt.ServeRegistry, model, path string) error {
+	snap, err := torchgt.LoadSnapshot(path)
+	if err != nil {
+		return err
+	}
+	ver, err := reg.Publish(model, snap)
+	if err != nil {
+		return err
+	}
+	gen, err := reg.Swap(model, ver)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reloaded %s: version %d live (generation %d)\n", path, ver, gen)
+	return nil
 }
 
 func parseLoads(s string) ([]float64, error) {

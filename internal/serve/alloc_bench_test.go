@@ -63,3 +63,52 @@ func BenchmarkServeBatch32(b *testing.B) { benchPredictBatch(b, 32, QuantNone) }
 // allocs/op ceilings in ci/bench-baseline.json.
 func BenchmarkServeBatch8Int8(b *testing.B) { benchPredictBatch(b, 8, QuantInt8) }
 func BenchmarkServeBatch8BF16(b *testing.B) { benchPredictBatch(b, 8, QuantBF16) }
+
+// BenchmarkEgoCacheHit measures the warm ego-context lookup — the hot path a
+// repeat query takes instead of a BFS rebuild. The contract (enforced by the
+// CI benchmark gate) is that cache hits are allocation-free.
+func BenchmarkEgoCacheHit(b *testing.B) {
+	ds := testDataset(256, 44)
+	snap := testSnapshot(b, ds, 45)
+	s, err := NewServer(snap, ds, Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	s.segmentFor(7) // cold fill
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if seg := s.segmentFor(7); seg == nil {
+			b.Fatal("nil segment")
+		}
+	}
+	if s.cache.Stats().Hits < int64(b.N) {
+		b.Fatal("benchmark loop did not hit the cache")
+	}
+}
+
+// BenchmarkRegistrySwap measures one full hot swap: spin up the replacement
+// replica pool from the published snapshot, flip the active generation, and
+// drain + close the old pool in the background.
+func BenchmarkRegistrySwap(b *testing.B) {
+	ds := testDataset(256, 46)
+	r := NewRegistry(0)
+	b.Cleanup(func() { r.Close() })
+	if err := r.Register("m", ds, ModelOptions{Serve: Options{Workers: 1}}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Publish("m", testSnapshot(b, ds, 47)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Swap("m", 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Swap("m", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -69,11 +69,14 @@ type segment struct {
 }
 
 // segmentFor returns the (cached) context segment of one node. Segments are
-// immutable once built, so the lazy sync.Map cache is race-free; LoadOrStore
-// keeps concurrent first-builders consistent.
+// immutable once built and a pure function of (graph, context shape, node),
+// so they live in the EgoCache — shared across snapshot generations when the
+// server was built by a Registry — and a hit skips BFS, subgraph induction
+// and pattern construction entirely. The hit path allocates nothing.
 func (s *Server) segmentFor(node int32) *segment {
-	if v, ok := s.segCache.Load(node); ok {
-		return v.(*segment)
+	k := ctxKey{gver: s.gver, hops: int32(s.opts.CtxHops), size: int32(s.opts.CtxSize), node: node}
+	if seg, ok := s.cache.get(k); ok {
+		return seg
 	}
 	nodes := egoNodes(s.ds.G, node, s.opts.CtxHops, s.opts.CtxSize)
 	sp := sparse.FromGraph(s.ds.G.InducedSubgraph(nodes)) // self-loops added
@@ -83,9 +86,7 @@ func (s *Server) segmentFor(node int32) *segment {
 			pairs = append(pairs, graph.Edge{U: int32(r), V: c})
 		}
 	}
-	seg := &segment{nodes: nodes, pairs: pairs}
-	actual, _ := s.segCache.LoadOrStore(node, seg)
-	return actual.(*segment)
+	return s.cache.put(k, &segment{nodes: nodes, pairs: pairs})
 }
 
 // builtBatch is one ready-to-execute forward pass.

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// doJSON runs one request against h and decodes the JSON response body.
+func doJSON(t *testing.T, h http.Handler, req *http.Request, out any) int {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("bad JSON response %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec.Code
+}
+
+// TestHTTPPredictErrorPaths covers the handler's failure modes: malformed
+// JSON body, bad/unknown node ids, admission overload (429 + Retry-After)
+// and a cancelled request context (408).
+func TestHTTPPredictErrorPaths(t *testing.T) {
+	ds := testDataset(96, 100)
+	r := testRegistry(t, ds, ModelOptions{
+		MaxPending: 1,
+		Serve:      Options{Workers: 1, MaxBatch: 64, MaxDelay: time.Hour, QueueCap: 64},
+	})
+	if _, err := r.Publish("m", testSnapshot(t, ds, 101)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Swap("m", 0); err != nil {
+		t.Fatal(err)
+	}
+	h := r.Handler()
+
+	// Malformed JSON bodies → 400 with a descriptive message.
+	for _, body := range []string{"", "{", `{"node":"five"}`, `{"node":1,"bogus":2}`, "[]"} {
+		req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "malformed JSON") {
+			t.Fatalf("body %q: got %d %q, want 400 malformed JSON", body, rec.Code, rec.Body.String())
+		}
+	}
+	// Non-numeric and out-of-range node ids → 400.
+	if code := doJSON(t, h, httptest.NewRequest(http.MethodGet, "/predict?node=banana&model=m", nil), nil); code != http.StatusBadRequest {
+		t.Fatalf("non-numeric node: %d", code)
+	}
+	if code := doJSON(t, h, httptest.NewRequest(http.MethodGet, "/predict?node=100000&model=m", nil), nil); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range node: %d", code)
+	}
+	// Unknown model → 400.
+	if code := doJSON(t, h, httptest.NewRequest(http.MethodGet, "/predict?node=1&model=ghost", nil), nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown model: %d", code)
+	}
+
+	// Overload: park one request (fills MaxPending=1), then the next HTTP
+	// request must shed with 429 and a Retry-After hint.
+	ctx, cancel := context.WithCancel(context.Background())
+	parked := make(chan Response, 1)
+	go func() { parked <- r.Predict(ctx, "m", 1) }()
+	waitFor(t, "request to park", func() bool { return r.Stats().Models[0].Pending == 1 })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/predict?node=2&model=m", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded request: got %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 must carry a Retry-After header")
+	}
+
+	// A request whose own context is cancelled while queued → 408.
+	reqCtx, cancelReq := context.WithCancel(context.Background())
+	done := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/predict?node=3&model=m", nil).WithContext(reqCtx))
+		done <- rec.Code
+	}()
+	// It cannot be admitted while the parked request occupies MaxPending;
+	// release the slot first so it parks in the engine queue, then cancel.
+	cancel()
+	<-parked
+	waitFor(t, "http request to park", func() bool { return r.Stats().Models[0].Pending == 1 })
+	cancelReq()
+	if code := <-done; code != http.StatusRequestTimeout {
+		t.Fatalf("cancelled request context: got %d, want 408", code)
+	}
+}
+
+// TestHTTPRegistryControlPlane drives the rollout endpoints end to end:
+// publish a snapshot over HTTP, swap to it, watch generation and readiness.
+func TestHTTPRegistryControlPlane(t *testing.T) {
+	ds := testDataset(128, 102)
+	r := testRegistry(t, ds, ModelOptions{Serve: Options{Workers: 1}})
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	post := func(path string, body io.Reader) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/octet-stream", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// Readiness probe: 503 before the first snapshot is live.
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz before first swap: got %d, want 503", code)
+	}
+	if code, _ := get("/predict?node=1"); code != http.StatusServiceUnavailable {
+		t.Fatalf("predict before first swap: got %d, want 503", code)
+	}
+
+	// Publish a snapshot by streaming its file bytes, then swap.
+	snapPath := filepath.Join(t.TempDir(), "v1.snap")
+	if err := testSnapshot(t, ds, 103).Save(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := post("/publish?model=m", bytes.NewReader(blob))
+	if code != http.StatusOK || !strings.Contains(body, `"version":1`) {
+		t.Fatalf("publish: %d %s", code, body)
+	}
+	if code, body := post("/publish?model=m", strings.NewReader("garbage")); code != http.StatusBadRequest {
+		t.Fatalf("garbage publish must 400: %d %s", code, body)
+	}
+	code, body = post("/swap?model=m&version=1", nil)
+	if code != http.StatusOK || !strings.Contains(body, `"generation":1`) {
+		t.Fatalf("swap: %d %s", code, body)
+	}
+	if code, body := post("/swap?model=m&version=7", nil); code != http.StatusBadRequest {
+		t.Fatalf("swap to unpublished version must 400: %d %s", code, body)
+	}
+	if code, _ := post("/swap?model=m&version=banana", nil); code != http.StatusBadRequest {
+		t.Fatal("non-numeric version must 400")
+	}
+	if code, _ := get("/swap?model=m"); code != http.StatusMethodNotAllowed {
+		t.Fatal("GET /swap must 405")
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after swap: got %d, want 200", code)
+	}
+	code, body = get("/predict?node=5")
+	if code != http.StatusOK || !strings.Contains(body, `"generation":1`) || !strings.Contains(body, `"probs"`) {
+		t.Fatalf("predict: %d %s", code, body)
+	}
+	code, body = get("/models")
+	if code != http.StatusOK || !strings.Contains(body, `"versions":[1]`) {
+		t.Fatalf("models: %d %s", code, body)
+	}
+	code, body = get("/stats")
+	if code != http.StatusOK || !strings.Contains(body, `"ready":true`) {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	validateExposition(t, body)
+	if metricValue(t, body, `torchgt_generation{model="m"}`) != 1 {
+		t.Fatal("metrics generation wrong")
+	}
+}
+
+// TestHTTPServerHealthzReadiness: the bare server's /healthz is a real
+// readiness probe — 200 while serving, 503 once closed.
+func TestHTTPServerHealthzReadiness(t *testing.T) {
+	ds := testDataset(96, 104)
+	snap := testSnapshot(t, ds, 105)
+	s, err := NewServer(snap, ds, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("open server healthz: %d", rec.Code)
+	}
+	s.Close()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("closed server healthz: got %d, want 503", rec.Code)
+	}
+	// /metrics still answers (ready=0) so the last scrape sees the drain.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK || metricValue(t, rec.Body.String(), "torchgt_ready") != 0 {
+		t.Fatalf("closed server metrics: %d", rec.Code)
+	}
+}
+
+// TestHTTPServerPredictPostBody: the bare server accepts the JSON body form
+// too, and rejects malformed bodies.
+func TestHTTPServerPredictPostBody(t *testing.T) {
+	ds := testDataset(96, 106)
+	snap := testSnapshot(t, ds, 107)
+	s := mustServer(t, snap, ds, Options{Workers: 1, MaxBatch: 2, MaxDelay: time.Millisecond})
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(`{"node":5}`)))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"class"`) {
+		t.Fatalf("POST predict: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(`{"node":`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed POST body: got %d, want 400", rec.Code)
+	}
+}

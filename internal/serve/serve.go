@@ -63,6 +63,24 @@ type Options struct {
 	// CtxSize caps the context size per request, target included
 	// (default 32).
 	CtxSize int
+	// MinWorkers / MaxWorkers bound queue-depth-driven replica scaling.
+	// Both default to Workers (a fixed pool — the pre-scaling behaviour).
+	// With MaxWorkers > Workers the scheduler spawns an extra replica
+	// whenever a full batch is already waiting behind the one being
+	// dispatched; with MinWorkers < Workers a replica idle for IdleTimeout
+	// retires. Scaling events are counted in Stats.
+	MinWorkers int
+	MaxWorkers int
+	// IdleTimeout is how long a replica may sit idle before it retires
+	// (default 250ms; only relevant when MinWorkers allows shrinking).
+	IdleTimeout time.Duration
+	// Cache is the shared ego-context cache. Nil builds a private cache of
+	// CacheCap entries. Sharing one cache across servers (what Registry
+	// does) lets a hot swap keep every warmed context of the same graph.
+	Cache *EgoCache
+	// CacheCap sizes the private cache when Cache is nil (default
+	// DefaultCacheCap).
+	CacheCap int
 	// Db is the cluster-sparse sub-block size (default 8; ModeClusterSparse only).
 	Db int
 	// Beta is the cluster-sparse transfer threshold βthre (default 0.25;
@@ -95,6 +113,21 @@ func (o Options) withDefaults() Options {
 	if o.CtxSize <= 0 {
 		o.CtxSize = 32
 	}
+	if o.MinWorkers <= 0 {
+		o.MinWorkers = o.Workers
+	}
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = o.Workers
+	}
+	if o.MinWorkers > o.Workers {
+		o.Workers = o.MinWorkers
+	}
+	if o.MaxWorkers < o.Workers {
+		o.MaxWorkers = o.Workers
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 250 * time.Millisecond
+	}
 	if o.Db <= 0 {
 		o.Db = 8
 	}
@@ -111,6 +144,10 @@ type Response struct {
 	Probs []float32 // softmax distribution over classes
 	// BatchSize is how many requests shared this forward pass.
 	BatchSize int
+	// Gen is the registry generation that answered (0 for a bare Server).
+	// Within one generation responses are bitwise deterministic; the
+	// generation ticks on every hot swap.
+	Gen uint64
 	// Queued is the time spent waiting for the batch to flush; Infer is
 	// the batch build + forward time (shared by the whole batch).
 	Queued, Infer time.Duration
@@ -136,6 +173,10 @@ type Stats struct {
 	FlushDeadline int64 // batches flushed on MaxDelay
 	FlushShutdown int64 // partial batches drained at Close
 	Cancelled     int64 // requests whose context expired while queued
+	Workers       int64 // current replica count (gauge)
+	ScaleUps      int64 // replicas spawned by queue-depth scaling
+	ScaleDowns    int64 // replicas retired after IdleTimeout
+	QueueDepth    int64 // requests waiting in the intake queue (gauge)
 	AvgBatchSize  float64
 }
 
@@ -144,11 +185,13 @@ type Server struct {
 	snap *Snapshot
 	ds   *graph.NodeDataset
 	opts Options
+	exec model.ExecOptions // replica runtime configuration (scale-up reuses it)
 
-	// Full-graph structural encodings (training convention) plus the
-	// per-node segment memo — all immutable after construction.
+	// Full-graph structural encodings (training convention), immutable
+	// after construction, plus the ego-context cache (possibly shared).
 	degIn, degOut []int32
-	segCache      sync.Map // int32 → *segment
+	cache         *EgoCache
+	gver          uint64 // cache version of ds.G
 
 	mu     sync.RWMutex // guards closed and sends into reqCh/jobCh
 	closed bool
@@ -157,11 +200,37 @@ type Server struct {
 	jobCh chan *job
 
 	workersWG sync.WaitGroup
+	nWorkers  atomic.Int64 // current replica count
 
-	nRequests, nBatches int64
-	nFull, nDeadline    int64
-	nShutdown, sumBatch int64
-	nCancelled          int64
+	nRequests, nBatches    int64
+	nFull, nDeadline       int64
+	nShutdown, sumBatch    int64
+	nCancelled             int64
+	nScaleUps, nScaleDowns int64
+}
+
+// validateServable checks that a snapshot configuration can serve node-level
+// predictions over ds — shared by NewServer and Registry.Publish so an
+// unservable snapshot is refused at publish time, before any swap tries it.
+func validateServable(cfg model.Config, ds *graph.NodeDataset) error {
+	if cfg.GlobalToken {
+		return fmt.Errorf("serve: global-token (graph-level) models are not servable node-level")
+	}
+	if cfg.InDim != ds.X.Cols {
+		return fmt.Errorf("serve: model expects %d input features, dataset has %d", cfg.InDim, ds.X.Cols)
+	}
+	if ds.NumClasses > 0 && cfg.OutDim != ds.NumClasses {
+		return fmt.Errorf("serve: model emits %d classes, dataset has %d", cfg.OutDim, ds.NumClasses)
+	}
+	if cfg.UseLapPE {
+		// Training-time Laplacian PE depends on the trainer's seed and (for
+		// TorchGT methods) the cluster-reordered node order — neither is
+		// recoverable from a snapshot, so any re-derived PE would feed the
+		// weights inputs they were never trained on. Refuse loudly instead
+		// of degrading silently.
+		return fmt.Errorf("serve: Laplacian-PE models are not servable: training-time PE (trainer seed + reordering) cannot be reconstructed from a snapshot")
+	}
+	return nil
 }
 
 // NewServer materialises opts.Workers replicas of the snapshot and starts
@@ -175,23 +244,8 @@ func NewServer(snap *Snapshot, ds *graph.NodeDataset, opts Options) (*Server, er
 		return nil, fmt.Errorf("serve: nil dataset")
 	}
 	opts = opts.withDefaults()
-	cfg := snap.Config()
-	if cfg.GlobalToken {
-		return nil, fmt.Errorf("serve: global-token (graph-level) models are not servable node-level")
-	}
-	if cfg.InDim != ds.X.Cols {
-		return nil, fmt.Errorf("serve: model expects %d input features, dataset has %d", cfg.InDim, ds.X.Cols)
-	}
-	if ds.NumClasses > 0 && cfg.OutDim != ds.NumClasses {
-		return nil, fmt.Errorf("serve: model emits %d classes, dataset has %d", cfg.OutDim, ds.NumClasses)
-	}
-	if cfg.UseLapPE {
-		// Training-time Laplacian PE depends on the trainer's seed and (for
-		// TorchGT methods) the cluster-reordered node order — neither is
-		// recoverable from a snapshot, so any re-derived PE would feed the
-		// weights inputs they were never trained on. Refuse loudly instead
-		// of degrading silently.
-		return nil, fmt.Errorf("serve: Laplacian-PE models are not servable: training-time PE (trainer seed + reordering) cannot be reconstructed from a snapshot")
+	if err := validateServable(snap.Config(), ds); err != nil {
+		return nil, err
 	}
 	if _, err := specFor(opts, 1, nil, []int32{0, 1}); err != nil {
 		return nil, err
@@ -220,21 +274,33 @@ func NewServer(snap *Snapshot, ds *graph.NodeDataset, opts Options) (*Server, er
 		m.SetRuntime(model.NewRuntime(exec))
 	}
 
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewEgoCache(opts.CacheCap)
+	}
 	s := &Server{
 		snap:  snap,
 		ds:    ds,
 		opts:  opts,
+		exec:  exec,
+		cache: cache,
+		gver:  cache.versionOf(ds.G),
 		reqCh: make(chan *request, opts.QueueCap),
 		jobCh: make(chan *job),
 	}
 	s.degIn, s.degOut = encoding.DegreeBuckets(ds.G, encoding.MaxDegreeBucket)
 	go s.batchLoop()
+	s.nWorkers.Store(int64(len(replicas)))
 	for _, m := range replicas {
 		s.workersWG.Add(1)
 		go s.worker(m)
 	}
 	return s, nil
 }
+
+// Cache exposes the ego-context cache backing this server (shared or
+// private), mainly so its hit/miss/eviction counters can be reported.
+func (s *Server) Cache() *EgoCache { return s.cache }
 
 // Options reports the resolved serving options.
 func (s *Server) Options() Options { return s.opts }
@@ -345,6 +411,14 @@ func (s *Server) Close() {
 	s.workersWG.Wait()
 }
 
+// Closed reports whether Close has been called — the readiness signal of the
+// bare-server /healthz probe.
+func (s *Server) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
 // Stats snapshots the engine counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
@@ -354,6 +428,10 @@ func (s *Server) Stats() Stats {
 		FlushDeadline: atomic.LoadInt64(&s.nDeadline),
 		FlushShutdown: atomic.LoadInt64(&s.nShutdown),
 		Cancelled:     atomic.LoadInt64(&s.nCancelled),
+		Workers:       s.nWorkers.Load(),
+		ScaleUps:      atomic.LoadInt64(&s.nScaleUps),
+		ScaleDowns:    atomic.LoadInt64(&s.nScaleDowns),
+		QueueDepth:    int64(len(s.reqCh)),
 	}
 	if st.Batches > 0 {
 		st.AvgBatchSize = float64(atomic.LoadInt64(&s.sumBatch)) / float64(st.Batches)
@@ -435,20 +513,92 @@ func (s *Server) batchLoop() {
 	}
 }
 
-// dispatch hands a batch to the worker pool and clears it.
+// dispatch hands a batch to the worker pool and takes the scale-up decision
+// on the way: when the handoff would block (every replica is mid-batch) while
+// more requests already wait in the intake queue, one request's queueing time
+// is about to double — a new replica pays for itself, so the pool grows
+// toward MaxWorkers before the blocking send.
 func (s *Server) dispatch(buf []*request, reason *int64) {
 	if len(buf) == 0 {
 		return
 	}
 	atomic.AddInt64(reason, 1)
-	s.jobCh <- &job{reqs: buf}
+	j := &job{reqs: buf}
+	select {
+	case s.jobCh <- j:
+		return
+	default:
+	}
+	if len(s.reqCh) > 0 {
+		s.maybeScaleUp()
+	}
+	s.jobCh <- j
 }
 
-// worker executes jobs on one replica until the job channel closes.
+// maybeScaleUp spawns one extra replica when queue depth warrants it. Called
+// only from the batchLoop goroutine, so the WaitGroup Add always happens
+// before batchLoop can close jobCh (and therefore before workersWG.Wait can
+// reach zero).
+func (s *Server) maybeScaleUp() {
+	if s.nWorkers.Load() >= int64(s.opts.MaxWorkers) {
+		return
+	}
+	m, err := s.snap.Materialize()
+	if err != nil {
+		return // the existing pool keeps serving; nothing to report per-request
+	}
+	m.SetRuntime(model.NewRuntime(s.exec))
+	s.nWorkers.Add(1)
+	atomic.AddInt64(&s.nScaleUps, 1)
+	s.workersWG.Add(1)
+	go s.worker(m)
+}
+
+// worker executes jobs on one replica until the job channel closes, or —
+// when the pool may shrink — until it has been idle for IdleTimeout and the
+// pool is above MinWorkers.
 func (s *Server) worker(m *model.GraphTransformer) {
 	defer s.workersWG.Done()
-	for j := range s.jobCh {
-		s.runJob(m, j)
+	if s.opts.MinWorkers >= s.opts.MaxWorkers {
+		// Fixed pool: no idle timer on the hot path.
+		for j := range s.jobCh {
+			s.runJob(m, j)
+		}
+		s.nWorkers.Add(-1)
+		return
+	}
+	idle := time.NewTimer(s.opts.IdleTimeout)
+	defer idle.Stop()
+	for {
+		select {
+		case j, ok := <-s.jobCh:
+			if !ok {
+				s.nWorkers.Add(-1)
+				return
+			}
+			s.runJob(m, j)
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(s.opts.IdleTimeout)
+		case <-idle.C:
+			// Retire only if the pool stays at or above MinWorkers — the
+			// CAS loop makes concurrent retirements take distinct slots.
+			for {
+				cur := s.nWorkers.Load()
+				if cur <= int64(s.opts.MinWorkers) {
+					break
+				}
+				if s.nWorkers.CompareAndSwap(cur, cur-1) {
+					atomic.AddInt64(&s.nScaleDowns, 1)
+					return
+				}
+			}
+			idle.Reset(s.opts.IdleTimeout)
+		}
 	}
 }
 

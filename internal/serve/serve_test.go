@@ -594,3 +594,61 @@ func TestPredictCancelledWhileQueued(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestReplicaAutoscaling: under sustained queue pressure the pool grows
+// toward MaxWorkers (each scale-up is a fresh replica materialized from the
+// snapshot), and once traffic stops idle replicas retire back to MinWorkers.
+func TestReplicaAutoscaling(t *testing.T) {
+	// The forward pass must dominate batch assembly or a single replica is
+	// genuinely sufficient and the scheduler (correctly) never scales: use a
+	// wide model and large ego contexts so each batch costs real compute.
+	ds := testDataset(512, 71)
+	cfg := model.GraphormerSlim(ds.X.Cols, ds.NumClasses, 72)
+	cfg.Hidden = 128
+	snap, err := Freeze(model.NewGraphTransformer(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustServer(t, snap, ds, Options{
+		Workers: 1, MinWorkers: 1, MaxWorkers: 3,
+		MaxBatch: 4, QueueCap: 16, MaxDelay: time.Millisecond,
+		CtxSize: 64, IdleTimeout: 20 * time.Millisecond,
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(n int32) {
+			defer wg.Done()
+			if r := s.Predict(context.Background(), n%int32(ds.G.N)); r.Err != nil {
+				t.Errorf("predict under load: %v", r.Err)
+			}
+		}(int32(i * 3))
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.ScaleUps == 0 {
+		t.Fatalf("sustained pressure produced no scale-ups: %+v", st)
+	}
+	if st.Workers > 3 {
+		t.Fatalf("pool exceeded MaxWorkers: %+v", st)
+	}
+
+	// Idle replicas must retire back down to MinWorkers and be counted.
+	waitFor(t, "pool to shrink to MinWorkers", func() bool {
+		st := s.Stats()
+		return st.Workers == 1 && st.ScaleDowns > 0
+	})
+
+	// Scaled pools keep the determinism contract: replicas are materialized
+	// from the same snapshot, so results match a fresh single-worker server.
+	ref := mustServer(t, snap, ds, Options{Workers: 1, CtxSize: 64})
+	for _, n := range []int32{1, 17, 63} {
+		a := s.Predict(context.Background(), n)
+		b := ref.Predict(context.Background(), n)
+		if a.Err != nil || b.Err != nil || !bitsEqual(a.Probs, b.Probs) {
+			t.Fatalf("node %d: scaled pool diverged from reference", n)
+		}
+	}
+}

@@ -117,15 +117,25 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 		return nil, err
 	}
 	defer f.Close()
-	br := bufio.NewReader(f)
+	s, err := ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// ReadSnapshot decodes a snapshot from any stream (a file, an HTTP publish
+// body) and verifies it materializes into a consistent model.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
 	var magic, version, hdrLen uint32
 	for _, dst := range []*uint32{&magic, &version, &hdrLen} {
 		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
-			return nil, fmt.Errorf("serve: corrupt snapshot %s: %w", path, err)
+			return nil, fmt.Errorf("serve: corrupt snapshot: %w", err)
 		}
 	}
 	if magic != snapshotMagic {
-		return nil, fmt.Errorf("serve: %s is not a snapshot file", path)
+		return nil, fmt.Errorf("serve: not a snapshot stream")
 	}
 	if version != 1 && version != snapshotVersion {
 		return nil, fmt.Errorf("serve: unsupported snapshot version %d", version)
@@ -135,8 +145,9 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 	}
 	hdr := make([]byte, hdrLen)
 	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, fmt.Errorf("serve: corrupt snapshot %s: %w", path, err)
+		return nil, fmt.Errorf("serve: corrupt snapshot: %w", err)
 	}
+	var err error
 	s := &Snapshot{}
 	if version == 1 {
 		// v1: bare config JSON, always float32 weights

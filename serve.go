@@ -2,6 +2,8 @@ package torchgt
 
 import (
 	"context"
+	"errors"
+	"io"
 	"time"
 
 	"torchgt/internal/serve"
@@ -120,3 +122,56 @@ func TrainNodeSnapshot(method Method, cfg ModelConfig, ds *NodeDataset, opts Tra
 	}
 	return res, snap, nil
 }
+
+// Serving control plane: a Registry holds named models with published,
+// versioned snapshots and an active replica pool per model. Publish stages a
+// new version; Swap flips traffic to it with zero downtime (the new pool
+// starts first, in-flight requests finish on the old generation, then the old
+// pool drains and closes). Requests beyond a model's admission bound are shed
+// with ErrServeOverloaded instead of queueing without bound, and every model
+// on one registry shares one ego-context cache so a hot swap over the same
+// graph keeps its warmed contexts. See DESIGN.md ("Serving control plane").
+type (
+	// ServeRegistry is the multi-model serving control plane.
+	ServeRegistry = serve.Registry
+	// ServeModelOptions configures one registered model: its engine options
+	// plus the admission bound (MaxPending).
+	ServeModelOptions = serve.ModelOptions
+	// ServeRegistryStats snapshots the control plane: readiness, draining
+	// generations, and per-model rollout + traffic counters.
+	ServeRegistryStats = serve.RegistryStats
+	// ServeModelStatus is one model's rollout state within RegistryStats.
+	ServeModelStatus = serve.ModelStatus
+	// EgoCache is the shared ego-context cache (BFS results keyed by graph
+	// version, context shape and node).
+	EgoCache = serve.EgoCache
+	// EgoCacheStats snapshots cache hit/miss/eviction counters.
+	EgoCacheStats = serve.CacheStats
+)
+
+// Typed serving control-plane errors, matched with errors.Is.
+var (
+	// ErrServeOverloaded: the request was shed at admission because the
+	// model's pending bound was reached (HTTP 429 + Retry-After).
+	ErrServeOverloaded = serve.ErrOverloaded
+	// ErrServeNotReady: the model has no active generation yet (HTTP 503).
+	ErrServeNotReady = serve.ErrNotReady
+	// ErrServeClosed: the server or registry has shut down (HTTP 503).
+	ErrServeClosed = serve.ErrClosed
+)
+
+// NewServeRegistry creates an empty registry whose models share one
+// ego-context cache of cacheCap entries (0 = default capacity).
+func NewServeRegistry(cacheCap int) *ServeRegistry { return serve.NewRegistry(cacheCap) }
+
+// NewEgoCache builds a standalone shared ego-context cache, for wiring
+// several independently constructed Servers to one cache via ServeOptions.
+func NewEgoCache(capacity int) *EgoCache { return serve.NewEgoCache(capacity) }
+
+// ReadSnapshot decodes a snapshot from a stream (the io.Reader form of
+// LoadSnapshot — what Registry HTTP publish uses for uploaded bodies).
+func ReadSnapshot(r io.Reader) (*Snapshot, error) { return serve.ReadSnapshot(r) }
+
+// IsServeNotReady reports whether err is the not-ready condition (no active
+// generation yet), the typed test for 503-retryable rollout states.
+func IsServeNotReady(err error) bool { return errors.Is(err, serve.ErrNotReady) }

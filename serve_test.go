@@ -72,3 +72,69 @@ func TestPublicServing(t *testing.T) {
 		t.Fatalf("stats not tracked: %+v", st)
 	}
 }
+
+// TestPublicControlPlane exercises the registry through the public surface:
+// register → publish two versions → swap → predict → shed semantics → stats.
+func TestPublicControlPlane(t *testing.T) {
+	ds, err := LoadNodeDataset("arxiv-sim", 192, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GraphormerSlim(ds.X.Cols, ds.NumClasses, 65)
+	cfg.Layers = 2
+	_, v1, err := TrainNodeSnapshot(MethodTorchGT, cfg, ds, TrainOptions{Epochs: 1, Seed: 66})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v2, err := TrainNodeSnapshot(MethodTorchGT, cfg, ds, TrainOptions{Epochs: 2, Seed: 66})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewServeRegistry(0)
+	defer r.Close()
+	if err := r.Register("arxiv", ds, ServeModelOptions{
+		MaxPending: 64,
+		Serve:      ServeOptions{Workers: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if resp := r.Predict(context.Background(), "arxiv", 1); !IsServeNotReady(resp.Err) {
+		t.Fatalf("predict before swap: %v", resp.Err)
+	}
+	for i, snap := range []*Snapshot{v1, v2} {
+		ver, err := r.Publish("arxiv", snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ver != i+1 {
+			t.Fatalf("publish %d: got version %d", i+1, ver)
+		}
+	}
+	gen, err := r.Swap("arxiv", 0) // latest
+	if err != nil || gen != 1 {
+		t.Fatalf("swap: gen=%d err=%v", gen, err)
+	}
+	resp := r.Predict(context.Background(), "arxiv", 5)
+	if resp.Err != nil || resp.Gen != 1 {
+		t.Fatalf("predict: gen=%d err=%v", resp.Gen, resp.Err)
+	}
+	// Rollback to v1 is just another swap.
+	if gen, err = r.Swap("arxiv", 1); err != nil || gen != 2 {
+		t.Fatalf("rollback: gen=%d err=%v", gen, err)
+	}
+	// Readiness dips while the replaced generation drains, then recovers.
+	st := r.Stats()
+	for deadline := time.Now().Add(10 * time.Second); st.Draining > 0; st = r.Stats() {
+		if time.Now().After(deadline) {
+			t.Fatalf("swap never finished draining: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !st.Ready || len(st.Models) != 1 || st.Models[0].Version != 1 {
+		t.Fatalf("registry stats: %+v", st)
+	}
+	if st.Models[0].Admitted == 0 {
+		t.Fatal("admission counter not tracked")
+	}
+}
