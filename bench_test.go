@@ -158,12 +158,14 @@ func BenchmarkAllToAll(b *testing.B) {
 	c := dist.NewComm(4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dist.Run(4, func(rank int) {
+		if err := dist.Run(c, func(rank int) {
 			parts := make([]*tensor.Mat, 4)
 			for d := range parts {
 				parts[d] = tensor.New(256, 64)
 			}
 			c.AllToAll(rank, parts)
-		})
+		}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

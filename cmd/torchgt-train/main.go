@@ -14,6 +14,8 @@
 //	torchgt-train -seqlen 512 -patience 8
 //	torchgt-train -seqpar 4 -method torchgt
 //	torchgt-train -backend opt -epochs 20
+//	torchgt-train -rendezvous :7700 -world 4
+//	torchgt-train -rendezvous coord:7700 -world 4 -rank 2
 //
 // -data accepts any dataset spec (see torchgt-data list); the session
 // records the spec in checkpoints, so -resume needs no dataset flags at
@@ -24,6 +26,18 @@
 // -backend opt trains on the autotuned optimized kernels (faster, within a
 // small tolerance of the bitwise-pinned reference default — see DESIGN.md
 // "Compute backends and quantized serving").
+//
+// -rendezvous runs real cross-process sequence parallelism over TCP: rank 0
+// listens on the address, the other ranks dial in, and the world trains one
+// model with attention heads partitioned across processes —
+// bitwise-identical to -seqpar with the same world size. Without -rank the
+// command is a launcher: it forks the whole world as local processes and
+// propagates their exit codes. With -rank it is one worker of a (possibly
+// multi-machine) job. -dp R splits the world into R data-parallel replicas
+// (world = R × sequence ranks). If a peer dies mid-run the survivors roll
+// back to the last completed optimiser step, write a checkpoint (with
+// -checkpoint-dir) and exit with code 75 — resume at a smaller world with
+// -resume + -rendezvous. See DESIGN.md "Cross-process execution".
 package main
 
 import (
@@ -32,8 +46,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -68,8 +84,19 @@ func run(ctx context.Context, args []string) error {
 	ckptDir := fs.String("checkpoint-dir", "", "write periodic checkpoints into this directory (also the SIGINT checkpoint)")
 	ckptEvery := fs.Int("checkpoint-every", 10, "checkpoint period in epochs (with -checkpoint-dir)")
 	resume := fs.String("resume", "", "resume from a checkpoint file instead of starting fresh")
+	rendezvous := fs.String("rendezvous", "", "cross-process training: rendezvous address (rank 0 listens, others dial)")
+	world := fs.Int("world", 1, "cross-process world size (with -rendezvous)")
+	rank := fs.Int("rank", -1, "this process's rank (with -rendezvous; omit to launch the whole world locally)")
+	dpReplicas := fs.Int("dp", 1, "data-parallel replicas: world = dp × sequence-parallel ranks (with -rendezvous)")
+	finalWeights := fs.String("final-weights", "", "write final model weights to this file (distributed ranks append .rank<N>)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Launcher mode: -rendezvous without -rank forks the whole world as
+	// local worker processes and waits for them.
+	if *rendezvous != "" && *rank < 0 {
+		return launchWorld(ctx, args, *world)
 	}
 
 	m, err := torchgt.ParseMethod(*method)
@@ -123,6 +150,30 @@ func run(ctx context.Context, args []string) error {
 		opts = append(opts, torchgt.WithCheckpointEvery(*ckptEvery, *ckptDir))
 	}
 
+	// Worker mode: join the cross-process job before touching any data, so a
+	// misconfigured world fails in the rendezvous, not mid-training. The
+	// fingerprint digests every flag that shapes the trajectory — peers with
+	// a different model, method, dataset or layout are rejected at hello time.
+	var tr torchgt.Transport
+	if *rendezvous != "" {
+		if *dpReplicas < 1 || *world%*dpReplicas != 0 {
+			return fmt.Errorf("-dp %d does not divide -world %d", *dpReplicas, *world)
+		}
+		fp := fmt.Sprintf("model=%s method=%s data=%s/%s/%d world=%d dp=%d seed=%d seqlen=%d",
+			*modelName, *method, *dataSpec, *dataset, *nodes, *world, *dpReplicas, *seed, *seqLen)
+		var err error
+		tr, err = torchgt.Rendezvous(ctx, *rendezvous, *rank, *world, torchgt.TransportOptions{Fingerprint: fp})
+		if err != nil {
+			return fmt.Errorf("rendezvous %s: %w", *rendezvous, err)
+		}
+		defer tr.Close()
+		fmt.Printf("rank %d of %d joined via %s\n", tr.Rank(), *world, *rendezvous)
+		opts = append(opts, torchgt.WithTransport(tr))
+		if *dpReplicas > 1 {
+			opts = append(opts, torchgt.WithDistPlan(*dpReplicas, *world / *dpReplicas))
+		}
+	}
+
 	// Resolve the task. Preference order: an explicit -data spec, then the
 	// spec recorded in the -resume checkpoint, then the legacy
 	// -dataset/-nodes synthetic path.
@@ -137,7 +188,7 @@ func run(ctx context.Context, args []string) error {
 			return fmt.Errorf("%w (pass -data or -dataset to supply the dataset explicitly)", err)
 		}
 		fmt.Printf("resumed %s at epoch %d (dataset re-opened from the recorded spec)\n", *resume, sess.Epoch())
-		return finish(ctx, sess, *ckptDir)
+		return finish(ctx, sess, *ckptDir, *finalWeights, tr)
 	}
 
 	d := task.Data()
@@ -150,7 +201,7 @@ func run(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := finish(ctx, sess, *ckptDir); err != nil {
+		if err := finish(ctx, sess, *ckptDir, *finalWeights, tr); err != nil {
 			return err
 		}
 		if mae := sess.EvalMAE(); mae > 0 {
@@ -166,7 +217,7 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := finish(ctx, sess, *ckptDir); err != nil {
+	if err := finish(ctx, sess, *ckptDir, *finalWeights, tr); err != nil {
 		return err
 	}
 	res := sess.Result()
@@ -233,13 +284,88 @@ func openSession(resume string, m torchgt.Method, cfg torchgt.ModelConfig, task 
 	return torchgt.NewSession(m, cfg, task, opts...)
 }
 
-// finish drives the session; on SIGINT it checkpoints the partial run
-// (when -checkpoint-dir is set) and exits cleanly.
-func finish(ctx context.Context, sess *torchgt.Session, ckptDir string) error {
+// launchWorld forks the whole world as local worker processes (the same
+// command line plus an explicit -rank each) and waits for all of them,
+// propagating the first non-zero exit code.
+func launchWorld(ctx context.Context, args []string, world int) error {
+	if world < 2 {
+		return fmt.Errorf("-rendezvous without -rank launches a local world: need -world ≥ 2, have %d", world)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("launching %d local ranks\n", world)
+	cmds := make([]*exec.Cmd, world)
+	for r := 0; r < world; r++ {
+		c := exec.CommandContext(ctx, exe, append(append([]string{}, args...), "-rank", strconv.Itoa(r))...)
+		c.Stdout, c.Stderr = os.Stdout, os.Stderr
+		if err := c.Start(); err != nil {
+			for _, prev := range cmds[:r] {
+				prev.Process.Kill()
+				prev.Wait()
+			}
+			return fmt.Errorf("starting rank %d: %w", r, err)
+		}
+		cmds[r] = c
+	}
+	code := 0
+	for r, c := range cmds {
+		if err := c.Wait(); err != nil {
+			rc := 1
+			var ee *exec.ExitError
+			if errors.As(err, &ee) {
+				rc = ee.ExitCode()
+			}
+			fmt.Fprintf(os.Stderr, "torchgt-train: rank %d exited with code %d\n", r, rc)
+			if code == 0 {
+				code = rc
+			}
+		}
+	}
+	if code != 0 {
+		os.Exit(code)
+	}
+	return nil
+}
+
+// finish drives the session; on SIGINT it checkpoints the partial run (when
+// -checkpoint-dir is set) and exits cleanly. A lost peer rank checkpoints the
+// survivor's rolled-back state the same way and exits 75 — the job resumes
+// from that file at a new world size.
+func finish(ctx context.Context, sess *torchgt.Session, ckptDir, finalWeights string, tr torchgt.Transport) error {
 	fmt.Println("epoch  loss      test-acc  epoch-time")
 	_, err := sess.Run(ctx)
 	if err == nil {
+		if finalWeights != "" {
+			p := finalWeights
+			if tr != nil {
+				p = fmt.Sprintf("%s.rank%d", p, tr.Rank())
+			}
+			if err := sess.SaveWeights(p); err != nil {
+				return err
+			}
+			fmt.Printf("final weights written to %s\n", p)
+		}
+		if tr != nil {
+			// Peers may still be consuming this rank's final collectives;
+			// the barrier guarantees everything was drained before Close.
+			tr.Barrier()
+		}
 		return nil
+	}
+	if errors.Is(err, torchgt.ErrRankLost) {
+		fmt.Fprintf(os.Stderr, "peer rank lost; state rolled back to the last completed step (epoch %d)\n", sess.Epoch())
+		if ckptDir == "" {
+			fmt.Fprintln(os.Stderr, "no -checkpoint-dir set; progress not saved")
+			os.Exit(75)
+		}
+		path := filepath.Join(ckptDir, "ranklost.ckpt")
+		if cerr := sess.Checkpoint(path); cerr != nil {
+			return cerr
+		}
+		fmt.Printf("survivor checkpoint written to %s (resume at a new world size: -resume %s -rendezvous ... -world M)\n", path, path)
+		os.Exit(75)
 	}
 	if !errors.Is(err, context.Canceled) {
 		return err

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"torchgt"
@@ -104,5 +107,63 @@ func TestTrainFromTGDSAndGraphLevelSpecs(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-data", "synth://no-such"}); err == nil {
 		t.Fatal("unknown spec must error")
+	}
+}
+
+// TestTrainDistributedWorkers drives the CLI's cross-process worker mode
+// without forking: two run() invocations rendezvous over TCP loopback as
+// ranks 0 and 1 of a world of 2, train the same job, and must write
+// bitwise-identical per-rank final weights. The invalid layouts below must
+// surface before any socket or data work.
+func TestTrainDistributedWorkers(t *testing.T) {
+	dir := t.TempDir()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	final := filepath.Join(dir, "weights.bin")
+	base := []string{
+		"-dataset", "arxiv-sim", "-nodes", "128", "-method", "gp-sparse",
+		"-epochs", "2", "-seed", "7", "-rendezvous", addr, "-world", "2",
+		"-final-weights", final,
+	}
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = run(context.Background(), append(append([]string{}, base...), "-rank", fmt.Sprint(r)))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("worker rank %d: %v", r, err)
+		}
+	}
+	b0, err := os.ReadFile(final + ".rank0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(final + ".rank1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b0, b1) {
+		t.Fatal("rank 0 and rank 1 final weights differ")
+	}
+
+	if err := run(context.Background(), []string{
+		"-rendezvous", addr, "-world", "4", "-rank", "0", "-dp", "3",
+	}); err == nil {
+		t.Fatal("-dp not dividing -world must error")
+	}
+	if err := run(context.Background(), []string{
+		"-rendezvous", addr, "-world", "1",
+	}); err == nil {
+		t.Fatal("launcher mode with -world 1 must error")
 	}
 }

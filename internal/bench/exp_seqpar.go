@@ -4,9 +4,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
+	"sync"
 	"time"
 
 	"torchgt/internal/dist"
+	"torchgt/internal/dist/transport"
 	"torchgt/internal/model"
 	"torchgt/internal/train"
 )
@@ -41,6 +44,7 @@ func runSeqPar(ctx context.Context, w io.Writer, scale Scale) error {
 
 	tb := &table{header: []string{"P", "loss", "step(s)", "comm/step MB", "model reshard MB", "model step(s)"}}
 	var firstLoss float64
+	var serialPairsPerHead int64
 	for _, p := range []int{1, 2, 4} {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -86,6 +90,7 @@ func runSeqPar(ctx context.Context, w io.Writer, scale Scale) error {
 		loss := res.Curve[len(res.Curve)-1].Loss
 		if p == 1 {
 			firstLoss = loss
+			serialPairsPerHead = pairsPerHead
 		} else if loss != firstLoss {
 			return fmt.Errorf("seqpar: P=%d trajectory diverged from serial (loss %v vs %v)", p, loss, firstLoss)
 		}
@@ -96,5 +101,103 @@ func runSeqPar(ctx context.Context, w io.Writer, scale Scale) error {
 	tb.write(w)
 	fmt.Fprintln(w, "expected shape: identical loss at every P (bitwise trajectory); measured comm/step tracks the")
 	fmt.Fprintln(w, "model's O(S/P)-per-rank reshard volume plus the gradient all-gather; model step time falls ~1/P")
+
+	// The same task once more at P=4 — this time as four ranks of the
+	// cross-process plan exchanging collectives over real TCP on the
+	// loopback interface — against the Loopback profile's prediction
+	// (which adds the per-collective wire latency the in-process rows
+	// never pay). The trajectory must still be bitwise the serial one.
+	const tcpWorld = 4
+	stepSec, res, err := runSeqParTCP(ctx, tcpWorld, nodes, epochs)
+	if err != nil {
+		return err
+	}
+	loss := res.Curve[len(res.Curve)-1].Loss
+	if loss != firstLoss {
+		return fmt.Errorf("seqpar: tcp-loopback P=%d trajectory diverged from serial (loss %v vs %v)", tcpWorld, loss, firstLoss)
+	}
+	cost := (&dist.PerfModel{HW: dist.Loopback}).StepTime(dist.KindSparse, serialPairsPerHead, nodes, shape, tcpWorld)
+	fmt.Fprintf(w, "tcp-loopback P=%d: loss %.6f (bitwise-equal to serial), measured step %ss, loopback-model step %ss\n",
+		tcpWorld, loss, f3(stepSec), f3(cost.Total.Seconds()))
 	return nil
+}
+
+// runSeqParTCP trains the node task as `world` real TCP-loopback ranks — one
+// goroutine per rank, each with its own transport endpoint and dataset copy —
+// and returns the measured per-step wall time plus rank 0's result.
+// Transports close only after every rank has finished: a rank tearing down
+// early would discard frames its peers have not yet consumed.
+func runSeqParTCP(ctx context.Context, world, nodes, epochs int) (float64, *train.Result, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, nil, err
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	results := make([]*train.Result, world)
+	errs := make([]error, world)
+	ts := make([]transport.Transport, world)
+	elapsed := make([]time.Duration, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := transport.Join(ctx, addr, r, world, transport.Options{Fingerprint: "bench-seqpar"})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			ts[r] = tr
+			ds, err := loadNode("arxiv-sim", nodes, 61)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			mcfg := model.GraphormerSlim(ds.X.Cols, ds.NumClasses, 62)
+			nt := train.NewNodeTrainer(train.NodeConfig{
+				Method: train.GPSparse, Epochs: epochs, LR: 1e-3, Seed: 63,
+			}, mcfg, ds)
+			plan, err := model.NewDistSeqParallel(tr, 1, model.ExecOptions{PoolEnabled: true})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			nt.Model.SetPlan(plan)
+			// Time the run only, on the far side of a barrier, so the
+			// measurement matches the in-process rows: setup (rendezvous,
+			// dataset load, preprocessing) stays outside the clock.
+			if err := tr.Barrier(); err != nil {
+				errs[r] = err
+				return
+			}
+			t0 := time.Now()
+			res, err := nt.RunCtx(ctx)
+			elapsed[r] = time.Since(t0)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			// Drain before teardown: reaching the barrier implies every
+			// peer has consumed this rank's final collective frames.
+			if err := tr.Barrier(); err != nil {
+				errs[r] = err
+				return
+			}
+			results[r] = res
+		}(r)
+	}
+	wg.Wait()
+	for _, tr := range ts {
+		if tr != nil {
+			tr.Close()
+		}
+	}
+	for r, err := range errs {
+		if err != nil {
+			return 0, nil, fmt.Errorf("seqpar: tcp rank %d: %w", r, err)
+		}
+	}
+	return elapsed[0].Seconds() / float64(epochs), results[0], nil
 }

@@ -1,58 +1,94 @@
 // Package dist is the communication layer of the simulated multi-GPU
-// runtime: channel-based collectives between P rank goroutines, plus
-// analytic performance and memory models of the paper's two testbeds used
-// by the experiment harness to extrapolate laptop-scale measurements to
-// paper-scale sequence lengths.
+// runtime: collectives between P rank goroutines over the in-process
+// transport, plus analytic performance and memory models of the paper's two
+// testbeds used by the experiment harness to extrapolate laptop-scale
+// measurements to paper-scale sequence lengths.
 //
 // The execution side of sequence parallelism — the Ulysses sequence↔head
 // resharding of the paper's Cluster-aware Graph Parallelism (§III-C) —
 // lives in internal/model as the SeqParallel execution plan, which drives
 // the model's own layers and reshards through this package's Comm at every
-// attention boundary. (An earlier hand-rolled P-worker Trainer that
-// duplicated the layer math here has been deleted in its favour.)
+// attention boundary. Comm itself is a thin veneer over
+// internal/dist/transport: the same Group collectives run unchanged over
+// the channel mesh here and over TCP between real OS processes.
 package dist
 
 import (
+	"fmt"
 	"sync"
-	"sync/atomic"
 
+	"torchgt/internal/dist/transport"
 	"torchgt/internal/tensor"
 )
 
-// Run launches p rank goroutines and blocks until all return — the moral
-// equivalent of torchrun spawning one process per GPU.
-func Run(p int, f func(rank int)) {
+// Run launches p rank goroutines over the communicator and blocks until all
+// return — the moral equivalent of torchrun spawning one process per GPU. A
+// panicking rank no longer deadlocks its peers: the panic is recovered, the
+// transport group is torn down (unblocking every rank stuck in a
+// collective), and the panic comes back as Run's error. When one rank's
+// failure cascades — peers observe transport.ErrRankLost once the group is
+// poisoned — the error reported is the primary failure, not a victim's.
+func Run(c *Comm, f func(rank int)) error {
 	var wg sync.WaitGroup
-	for r := 0; r < p; r++ {
+	panics := make([]any, c.P)
+	for r := 0; r < c.P; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panics[rank] = rec
+					c.mesh[rank].Abort(recoveredErr(rank, rec))
+				}
+			}()
 			f(rank)
 		}(r)
 	}
 	wg.Wait()
+	var fallback error
+	for r, rec := range panics {
+		if rec == nil {
+			continue
+		}
+		err := recoveredErr(r, rec)
+		if !transport.IsRankLost(err) {
+			return err
+		}
+		if fallback == nil {
+			fallback = err
+		}
+	}
+	return fallback
 }
 
-// Comm provides collective operations among p ranks over buffered channels,
-// with per-rank traffic accounting. All collectives must be entered by every
-// rank (they are synchronising, like NCCL collectives).
+func recoveredErr(rank int, rec any) error {
+	if err, ok := rec.(error); ok {
+		return err
+	}
+	return fmt.Errorf("dist: rank %d panicked: %v", rank, rec)
+}
+
+// Comm provides collective operations among p ranks, with per-rank traffic
+// accounting. All collectives must be entered by every rank (they are
+// synchronising, like NCCL collectives). The arithmetic lives in
+// transport.Group — one fixed-order implementation shared with the TCP
+// cross-process path — over the in-process channel mesh.
 type Comm struct {
 	P int
 
-	// chans[src][dst] carries one message per collective round.
-	chans     [][]chan *tensor.Mat
-	bytesSent []int64 // per-rank, atomic
+	mesh   []*transport.Mem
+	groups []*transport.Group // world group, per rank
 }
 
 // NewComm builds the communicator for p ranks.
 func NewComm(p int) *Comm {
-	c := &Comm{P: p, bytesSent: make([]int64, p)}
-	c.chans = make([][]chan *tensor.Mat, p)
-	for s := 0; s < p; s++ {
-		c.chans[s] = make([]chan *tensor.Mat, p)
-		for d := 0; d < p; d++ {
-			c.chans[s][d] = make(chan *tensor.Mat, 1)
-		}
+	if p < 1 {
+		p = 1
+	}
+	c := &Comm{P: p, mesh: transport.NewMem(p)}
+	c.groups = make([]*transport.Group, p)
+	for r := range c.groups {
+		c.groups[r] = transport.WorldGroup(c.mesh[r])
 	}
 	return c
 }
@@ -70,24 +106,9 @@ func (c *Comm) AllToAll(rank int, parts []*tensor.Mat) []*tensor.Mat {
 	if len(parts) != c.P {
 		panic("dist: AllToAll needs one part per rank")
 	}
-	var sent int64
-	for d := 0; d < c.P; d++ {
-		if d == rank {
-			continue
-		}
-		c.chans[rank][d] <- parts[d]
-		if parts[d] != nil {
-			sent += parts[d].Bytes()
-		}
-	}
-	atomic.AddInt64(&c.bytesSent[rank], sent)
-	out := make([]*tensor.Mat, c.P)
-	out[rank] = parts[rank]
-	for s := 0; s < c.P; s++ {
-		if s == rank {
-			continue
-		}
-		out[s] = <-c.chans[s][rank]
+	out, err := c.groups[rank].AllToAll(parts)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }
@@ -96,11 +117,11 @@ func (c *Comm) AllToAll(rank int, parts []*tensor.Mat) []*tensor.Mat {
 // source rank. Zero-row, zero-column and nil inputs follow the AllToAll
 // contract.
 func (c *Comm) AllGather(rank int, m *tensor.Mat) []*tensor.Mat {
-	parts := make([]*tensor.Mat, c.P)
-	for d := range parts {
-		parts[d] = m
+	out, err := c.groups[rank].AllGather(m)
+	if err != nil {
+		panic(err)
 	}
-	return c.AllToAll(rank, parts)
+	return out
 }
 
 // AllReduce sums the ranks' gradient matrices element-wise, in place, leaving
@@ -108,47 +129,28 @@ func (c *Comm) AllGather(rank int, m *tensor.Mat) []*tensor.Mat {
 // flattened gradient vector followed by a deterministic rank-ordered
 // summation, so replicas stay bitwise in sync.
 func (c *Comm) AllReduce(rank int, mats []*tensor.Mat) {
-	n := 0
-	for _, m := range mats {
-		n += len(m.Data)
-	}
-	flat := tensor.New(1, n)
-	off := 0
-	for _, m := range mats {
-		copy(flat.Data[off:], m.Data)
-		off += len(m.Data)
-	}
-	gathered := c.AllGather(rank, flat)
-	sum := tensor.New(1, n)
-	for r := 0; r < c.P; r++ {
-		tensor.Axpy(1, gathered[r].Data, sum.Data)
-	}
-	off = 0
-	for _, m := range mats {
-		copy(m.Data, sum.Data[off:off+len(m.Data)])
-		off += len(m.Data)
+	if err := c.groups[rank].AllReduce(mats); err != nil {
+		panic(err)
 	}
 }
 
 // AllReduceScalar sums one float across ranks (used for loss reporting).
 func (c *Comm) AllReduceScalar(rank int, v float64) float64 {
-	m := tensor.New(1, 1)
-	m.Data[0] = float32(v)
-	var s float64
-	for _, g := range c.AllGather(rank, m) {
-		s += float64(g.Data[0])
+	s, err := c.groups[rank].AllReduceScalar(v)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
 
 // BytesSent reports the traffic rank has sent so far.
-func (c *Comm) BytesSent(rank int) int64 { return atomic.LoadInt64(&c.bytesSent[rank]) }
+func (c *Comm) BytesSent(rank int) int64 { return c.mesh[rank].BytesSent() }
 
 // TotalBytes reports the traffic sent by all ranks.
 func (c *Comm) TotalBytes() int64 {
 	var t int64
-	for r := range c.bytesSent {
-		t += atomic.LoadInt64(&c.bytesSent[r])
+	for _, m := range c.mesh {
+		t += m.BytesSent()
 	}
 	return t
 }

@@ -2,16 +2,27 @@ package dist
 
 import (
 	"fmt"
+	"strings"
 	"testing"
+	"time"
 
 	"torchgt/internal/tensor"
 )
+
+// mustRun is the test-side Run wrapper: collective tests expect no rank to
+// fail.
+func mustRun(t *testing.T, c *Comm, f func(rank int)) {
+	t.Helper()
+	if err := Run(c, f); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func TestAllToAllDeliversByRank(t *testing.T) {
 	const p = 3
 	c := NewComm(p)
 	got := make([][]*tensor.Mat, p)
-	Run(p, func(rank int) {
+	mustRun(t, c, func(rank int) {
 		parts := make([]*tensor.Mat, p)
 		for d := 0; d < p; d++ {
 			m := tensor.New(1, 2)
@@ -74,7 +85,7 @@ func TestCollectivesDegenerateShapes(t *testing.T) {
 					}
 				}
 			}
-			Run(tc.p, func(rank int) {
+			mustRun(t, c, func(rank int) {
 				parts := make([]*tensor.Mat, tc.p)
 				for d := 0; d < tc.p; d++ {
 					if tc.rows[rank][d] < 0 {
@@ -121,7 +132,7 @@ func TestAllGatherDegenerateShapes(t *testing.T) {
 			const p = 3
 			c := NewComm(p)
 			got := make([][]*tensor.Mat, p)
-			Run(p, func(rank int) {
+			mustRun(t, c, func(rank int) {
 				m := tensor.New(rows, 2)
 				for i := range m.Data {
 					m.Data[i] = float32(rank)
@@ -147,7 +158,7 @@ func TestAllGatherDegenerateShapes(t *testing.T) {
 		const p = 2
 		c := NewComm(p)
 		got := make([][]*tensor.Mat, p)
-		Run(p, func(rank int) {
+		mustRun(t, c, func(rank int) {
 			got[rank] = c.AllGather(rank, nil)
 		})
 		for dst := 0; dst < p; dst++ {
@@ -172,7 +183,7 @@ func TestAllReduceSums(t *testing.T) {
 		m.Fill(float32(r + 1))
 		mats[r] = m
 	}
-	Run(p, func(rank int) {
+	mustRun(t, c, func(rank int) {
 		c.AllReduce(rank, []*tensor.Mat{mats[rank]})
 	})
 	for r := 0; r < p; r++ {
@@ -203,7 +214,7 @@ func TestAllReduceFixedOrderDeterminism(t *testing.T) {
 			m.Data[0] = vals[r]
 			mats[r] = m
 		}
-		Run(p, func(rank int) {
+		mustRun(t, c, func(rank int) {
 			c.AllReduce(rank, []*tensor.Mat{mats[rank]})
 		})
 		for r := 0; r < p; r++ {
@@ -211,6 +222,40 @@ func TestAllReduceFixedOrderDeterminism(t *testing.T) {
 				t.Fatalf("trial %d rank %d: %v != %v", trial, r, mats[r].Data[0], want)
 			}
 		}
+	}
+}
+
+// TestRunPanicPropagates pins the satellite fix: a rank that panics while
+// its peers are blocked inside a collective must not deadlock the group —
+// Run tears the transport down, unblocks everyone, and returns the primary
+// panic (not a cascading rank-lost victim) as its error.
+func TestRunPanicPropagates(t *testing.T) {
+	const p = 3
+	c := NewComm(p)
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(c, func(rank int) {
+			if rank == 1 {
+				panic("boom")
+			}
+			// The other ranks enter a collective rank 1 never will.
+			c.AllGather(rank, tensor.New(1, 1))
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("want the primary panic back, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run deadlocked on a panicking rank")
+	}
+	// The group is poisoned: later collectives fail fast instead of hanging.
+	err := Run(c, func(rank int) {
+		c.AllGather(rank, tensor.New(1, 1))
+	})
+	if err == nil {
+		t.Fatal("collectives on a torn-down group must fail")
 	}
 }
 
@@ -258,5 +303,29 @@ func TestPerfAndMemoryModelShapes(t *testing.T) {
 	tgt8 := mm.MaxSeqLen(MemSparse, 20, shape, 8)
 	if float64(tgt8) < 5*float64(tgt) {
 		t.Fatalf("sparse capacity should scale with GPUs: %d -> %d", tgt, tgt8)
+	}
+}
+
+// TestPerfModelNetworkTerm pins the wire-latency component: at short
+// sequences the payloads are too small to amortise the per-collective hop
+// cost, so the comm term must be bounded below by hops×latency — and a
+// zero-latency copy of the profile must predict strictly cheaper steps.
+func TestPerfModelNetworkTerm(t *testing.T) {
+	shape := ModelShape{Layers: 4, Hidden: 64, Heads: 8, FFNHidden: 256}
+	pm := &PerfModel{HW: Loopback}
+	c := pm.StepTime(KindSparse, 20*256, 256, shape, 4)
+	hops := float64(8*shape.Layers + 2)
+	floor := time.Duration(hops * Loopback.NetLatencyUs * 1e-6 * float64(time.Second))
+	if c.Comm < floor {
+		t.Fatalf("comm %v below the latency floor %v", c.Comm, floor)
+	}
+	flat := Loopback
+	flat.NetLatencyUs = 0
+	c0 := (&PerfModel{HW: flat}).StepTime(KindSparse, 20*256, 256, shape, 4)
+	if c0.Comm >= c.Comm {
+		t.Fatalf("zero-latency profile must be cheaper: %v vs %v", c0.Comm, c.Comm)
+	}
+	if one := pm.StepTime(KindSparse, 20*256, 256, shape, 1); one.Comm != 0 {
+		t.Fatalf("single-rank step must pay no comm, got %v", one.Comm)
 	}
 }

@@ -16,6 +16,11 @@ type HardwareProfile struct {
 	MemBWGBs float64
 	// NetGBs is per-GPU interconnect bandwidth (GB/s) for collectives.
 	NetGBs float64
+	// NetLatencyUs is the per-collective hop latency (µs): the fixed cost a
+	// rank pays to complete one collective round regardless of payload size.
+	// Dominates the comm term at short sequences, where the payloads are too
+	// small to amortise it.
+	NetLatencyUs float64
 	// StepOverheadMs is the fixed per-iteration launch/synchronisation cost.
 	StepOverheadMs float64
 	// IrregularSlow is the per-pair slowdown of gather-heavy irregular sparse
@@ -29,7 +34,7 @@ type HardwareProfile struct {
 var RTX3090 = HardwareProfile{
 	Name: "rtx3090-cluster", MemBytes: 24 << 30,
 	TFLOPS: 35.6, Efficiency: 0.35, MemBWGBs: 936, NetGBs: 8,
-	StepOverheadMs: 8, IrregularSlow: 2000,
+	NetLatencyUs: 25, StepOverheadMs: 8, IrregularSlow: 2000,
 }
 
 // A100 approximates the paper's 2-server × 4×A100 cluster (NVLink intra-node,
@@ -37,7 +42,21 @@ var RTX3090 = HardwareProfile{
 var A100 = HardwareProfile{
 	Name: "a100-cluster", MemBytes: 80 << 30,
 	TFLOPS: 156, Efficiency: 0.45, MemBWGBs: 1555, NetGBs: 25,
-	StepOverheadMs: 5, IrregularSlow: 1200,
+	NetLatencyUs: 5, StepOverheadMs: 5, IrregularSlow: 1200,
+}
+
+// Loopback approximates this repository's own execution substrate: the CPU
+// reference engine with ranks as processes on one host, collectives over the
+// TCP transport on the loopback interface. Calibrated against the transport
+// package's loopback benchmarks (per-collective latency ~100µs, effective
+// stream bandwidth ~1 GB/s through the frame codec); the flop rate is the
+// rough throughput of the Go microkernels, so predictions land at
+// CPU-seconds, not GPU-milliseconds. Feeds the seqpar experiment's
+// predicted-vs-measured cross-process row.
+var Loopback = HardwareProfile{
+	Name: "tcp-loopback", MemBytes: 16 << 30,
+	TFLOPS: 0.02, Efficiency: 0.5, MemBWGBs: 20, NetGBs: 1,
+	NetLatencyUs: 100, StepOverheadMs: 0.5, IrregularSlow: 4,
 }
 
 // ModelShape carries the transformer dimensions the cost models need.
@@ -134,7 +153,10 @@ func (pm *PerfModel) StepTime(kind Kind, pairsPerHead int64, s int, shape ModelS
 			float64(shape.Hidden) * 4 * float64(gpus-1) / float64(gpus)
 		// Ring all-reduce of weight gradients: 2·paramBytes per rank.
 		allreduce := 2 * float64(shape.ParamBytes())
-		commSec = (reshard + allreduce) / (hw.NetGBs * 1e9)
+		// Fixed wire latency: one hop per collective round — the 8 per-layer
+		// all-to-alls plus the gradient all-reduce and the closing barrier.
+		hops := float64(8*shape.Layers + 2)
+		commSec = (reshard+allreduce)/(hw.NetGBs*1e9) + hops*hw.NetLatencyUs*1e-6
 	}
 
 	c := Cost{

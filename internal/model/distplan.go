@@ -1,0 +1,292 @@
+package model
+
+import (
+	"fmt"
+
+	"torchgt/internal/dist/transport"
+	"torchgt/internal/nn"
+	"torchgt/internal/tensor"
+)
+
+// DistSeqParallel is the cross-process execution Plan: this process is one
+// rank of an R×P hybrid job — R data-parallel replicas, each a P-rank
+// sequence-parallel group — communicating over a transport.Transport (TCP
+// between real processes, the in-process mesh under tests). Global rank g
+// sits in replica g/P at sequence-parallel index g%P.
+//
+// Layout: row-wise layers (projections, norms, FFN, loss) are
+// sequence-decomposable, so every rank runs them replicated over the full
+// sequence — bitwise the work its sequence shard plus an all-gather would
+// produce, with zero communication. Only the head section partitions: each
+// rank runs its own Heads/P attention heads over the full sequence and one
+// all-gather per attention boundary reassembles the concatenated outputs
+// (and, in backward, dq/dk/dv). This is the Ulysses head decomposition with
+// the sequence dimension kept resident; the wire moves exactly the per-head
+// outputs a sequence↔head reshard would move on its second hop.
+//
+// Determinism: the gathered head blocks land in disjoint columns and are
+// assembled with the same zero-initialise-then-add ordering every other
+// plan uses, per-head kernels see bit-identical full-sequence inputs, and
+// gradient synchronisation (bias-table ownership merge, data-parallel mean)
+// folds in fixed member order — so training under this plan is pinned
+// bitwise-equal to the serial trajectory, and hence to the in-process
+// SeqParallel plan, at every P. See DESIGN.md "Cross-process execution".
+type DistSeqParallel struct {
+	// P is the sequence-parallel degree (ranks per replica); R the replica
+	// count. P·R is the transport's world size.
+	P, R int
+
+	t     transport.Transport
+	sp    *transport.Group // this rank's sequence-parallel group
+	dp    *transport.Group // this rank's cross-replica group
+	world *transport.Group
+
+	ws     *tensor.Workspace // head-section scratch
+	shared *tensor.Workspace // serial sections: residuals, concat, dq/dk/dv
+
+	// biasTables maps every bias-table parameter seen in forward to its
+	// head count, so SyncGradients can run the ownership merge.
+	biasTables map[*nn.Param]int
+}
+
+// NewDistSeqParallel builds the hybrid plan for this process from its
+// transport: world = replicas × P, with ranks [replica·P, (replica+1)·P)
+// forming each sequence-parallel group. opts follows ExecOptions semantics
+// (Workers is ignored: a rank's heads run sequentially, as on one GPU).
+func NewDistSeqParallel(t transport.Transport, replicas int, opts ExecOptions) (*DistSeqParallel, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	world := t.World()
+	if world%replicas != 0 {
+		return nil, fmt.Errorf("model: world size %d not divisible into %d replicas", world, replicas)
+	}
+	p := world / replicas
+	rank := t.Rank()
+	replica := rank / p
+	spRanks := make([]int, p)
+	for i := range spRanks {
+		spRanks[i] = replica*p + i
+	}
+	dpRanks := make([]int, replicas)
+	for i := range dpRanks {
+		dpRanks[i] = rank%p + i*p
+	}
+	sp, err := transport.NewGroup(t, spRanks)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := transport.NewGroup(t, dpRanks)
+	if err != nil {
+		return nil, err
+	}
+	d := &DistSeqParallel{P: p, R: replicas, t: t, sp: sp, dp: dp, world: transport.WorldGroup(t)}
+	if opts.PoolEnabled {
+		d.ws = tensor.NewWorkspace()
+		d.shared = tensor.NewWorkspace()
+	}
+	return d, nil
+}
+
+// AsDistSeqParallel returns p as a *DistSeqParallel when that is what it is,
+// else nil.
+func AsDistSeqParallel(p Plan) *DistSeqParallel {
+	if d, ok := p.(*DistSeqParallel); ok {
+		return d
+	}
+	return nil
+}
+
+// Ranks implements Plan: the sequence-parallel degree this process takes
+// part in (matching SeqParallel's meaning of the same number).
+func (p *DistSeqParallel) Ranks() int { return p.P }
+
+// Transport exposes the plan's transport (traffic accounting, teardown).
+func (p *DistSeqParallel) Transport() transport.Transport { return p.t }
+
+// TransportBytes reports the payload bytes this rank has sent.
+func (p *DistSeqParallel) TransportBytes() int64 { return p.t.BytesSent() }
+
+// StepReset implements Plan. Safe only at step boundaries: SyncGradients
+// ends with a world barrier, so no peer can still be reading this rank's
+// buffers.
+func (p *DistSeqParallel) StepReset() {
+	p.ws.Reset()
+	p.shared.Reset()
+}
+
+// AllocStats implements Plan.
+func (p *DistSeqParallel) AllocStats() tensor.WorkspaceStats {
+	var st tensor.WorkspaceStats
+	for _, ws := range []*tensor.Workspace{p.ws, p.shared} {
+		s := ws.Stats()
+		st.Gets += s.Gets
+		st.PoolHits += s.PoolHits
+		st.Resets += s.Resets
+		st.InUse += s.InUse
+		st.HeldBytes += s.HeldBytes
+	}
+	return st
+}
+
+func (p *DistSeqParallel) workspace(int) *tensor.Workspace { return p.shared }
+
+func (p *DistSeqParallel) checkHeads(m *MHA) int {
+	if m.Heads%p.P != 0 {
+		panic(fmt.Sprintf("model: %d heads not divisible by %d sequence-parallel ranks", m.Heads, p.P))
+	}
+	return m.Heads / p.P
+}
+
+func (p *DistSeqParallel) noteBiasTable(m *MHA) {
+	if m.BiasTable == nil {
+		return
+	}
+	if p.biasTables == nil {
+		p.biasTables = make(map[*nn.Param]int)
+	}
+	p.biasTables[m.BiasTable.W] = m.Heads
+}
+
+// forwardHeads implements Plan: run this rank's heads over the full
+// sequence, all-gather the per-rank head blocks across the
+// sequence-parallel group, and assemble the concatenated output with the
+// serial engine's zero-initialise-then-add ordering (0+(0+x) ≡ 0+x
+// bitwise, since 0+x is never -0).
+func (p *DistSeqParallel) forwardHeads(m *MHA, q, k, v *tensor.Mat, spec *AttentionSpec) *tensor.Mat {
+	s := q.Rows
+	hp := p.checkHeads(m)
+	p.noteBiasTable(m)
+	me := p.sp.Index()
+	ws := p.ws
+	headsOut := ws.Get(s, hp*m.Dh)
+	for j := 0; j < hp; j++ {
+		h := me*hp + j
+		kr := m.newKernel(h, spec, s, ws)
+		m.kernels[h] = kr
+		oh := kr.Forward(
+			colSlice(ws, q, h*m.Dh, m.Dh),
+			colSlice(ws, k, h*m.Dh, m.Dh),
+			colSlice(ws, v, h*m.Dh, m.Dh))
+		addColSlice(headsOut, oh, j*m.Dh)
+	}
+	// Drop kernels of heads this rank does not own: they may be stale from
+	// an earlier plan, and backward must only touch local ones.
+	for h := range m.kernels {
+		if h/hp != me {
+			m.kernels[h] = nil
+		}
+	}
+	gathered, err := p.sp.AllGather(headsOut)
+	if err != nil {
+		panic(err)
+	}
+	concat := p.shared.Get(s, m.Hidden)
+	for i, part := range gathered {
+		addColSlice(concat, part, i*hp*m.Dh)
+	}
+	return concat
+}
+
+// backwardHeads implements Plan: the mirrored backward — local heads
+// produce their dq/dk/dv column blocks, three all-gathers reassemble the
+// full-width gradients, and bias-table gradients accumulate for local heads
+// only (the ownership merge in SyncGradients completes them).
+func (p *DistSeqParallel) backwardHeads(m *MHA, dConcat *tensor.Mat) (dq, dk, dv *tensor.Mat) {
+	s := dConcat.Rows
+	hp := p.checkHeads(m)
+	me := p.sp.Index()
+	ws := p.ws
+	dqh := ws.Get(s, hp*m.Dh)
+	dkh := ws.Get(s, hp*m.Dh)
+	dvh := ws.Get(s, hp*m.Dh)
+	for j := 0; j < hp; j++ {
+		h := me*hp + j
+		dqj, dkj, dvj := m.kernels[h].Backward(colSlice(ws, dConcat, h*m.Dh, m.Dh))
+		addColSlice(dqh, dqj, j*m.Dh)
+		addColSlice(dkh, dkj, j*m.Dh)
+		addColSlice(dvh, dvj, j*m.Dh)
+		m.AccumBiasGrads(h, m.kernels[h], m.spec)
+	}
+	dq = p.assembleCols(dqh, s, m.Hidden, hp*m.Dh)
+	dk = p.assembleCols(dkh, s, m.Hidden, hp*m.Dh)
+	dv = p.assembleCols(dvh, s, m.Hidden, hp*m.Dh)
+	return dq, dk, dv
+}
+
+// assembleCols all-gathers one local column block and assembles the
+// full-width matrix (zero-initialise, add disjoint blocks).
+func (p *DistSeqParallel) assembleCols(local *tensor.Mat, s, width, w int) *tensor.Mat {
+	gathered, err := p.sp.AllGather(local)
+	if err != nil {
+		panic(err)
+	}
+	out := p.shared.Get(s, width)
+	for i, part := range gathered {
+		addColSlice(out, part, i*w)
+	}
+	return out
+}
+
+// SyncGradients runs the gradient-synchronisation collectives that end every
+// optimiser step:
+//
+//  1. Bias-table ownership merge within the sequence-parallel group. Every
+//     gradient entry (bucket, head) is written by exactly one rank — the
+//     head's owner — so each rank copies the owner's value for the entries
+//     it does not own. A copy, not a sum: bitwise the serial accumulation,
+//     with no zero-addend corner.
+//  2. Data-parallel mean across replicas, in fixed member order with a
+//     pairwise-tree fold (see transport.Group.AllReduceMean): replicas stay
+//     bitwise identical, and identical replicas at power-of-two R
+//     round-trip exactly.
+//
+// A world barrier closes the step so no peer is still reading this rank's
+// buffers when the optimiser starts mutating gradients. Row-wise layers
+// need no collective at all: their gradients are computed fully replicated.
+func (p *DistSeqParallel) SyncGradients(params []*nn.Param) {
+	if p.t.World() <= 1 {
+		return
+	}
+	if p.sp.Size() > 1 && len(p.biasTables) > 0 {
+		me := p.sp.Index()
+		for _, pr := range params {
+			heads, ok := p.biasTables[pr]
+			if !ok {
+				continue
+			}
+			hp := heads / p.P
+			gathered, err := p.sp.AllGather(pr.Grad)
+			if err != nil {
+				panic(err)
+			}
+			// Peers read only the entries this rank owns, and this rank
+			// writes only entries it does not own — disjoint even over the
+			// in-process zero-copy mesh.
+			for e := range pr.Grad.Data {
+				if owner := (e % heads) / hp; owner != me {
+					pr.Grad.Data[e] = gathered[owner].Data[e]
+				}
+			}
+		}
+		// Quiesce the merge before anything mutates gradients again: a
+		// peer may still be reading this rank's Grad through the gather
+		// (zero-copy in process), and the data-parallel mean below writes
+		// every entry back.
+		if err := p.sp.Barrier(); err != nil {
+			panic(err)
+		}
+	}
+	if p.dp.Size() > 1 {
+		mats := make([]*tensor.Mat, len(params))
+		for i, pr := range params {
+			mats[i] = pr.Grad
+		}
+		if err := p.dp.AllReduceMean(mats); err != nil {
+			panic(err)
+		}
+	}
+	if err := p.world.Barrier(); err != nil {
+		panic(err)
+	}
+}

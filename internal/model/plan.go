@@ -230,7 +230,7 @@ func (p *SeqParallel) forwardHeads(m *MHA, q, k, v *tensor.Mat, spec *AttentionS
 	s := q.Rows
 	hp := p.checkHeads(m)
 	concat := p.shared.Get(s, m.Hidden)
-	dist.Run(p.P, func(rank int) {
+	err := dist.Run(p.comm, func(rank int) {
 		ws := p.wss[rank]
 		lo, hi := p.Shard(rank, s)
 		qh := p.toHeads(rank, q.SliceRows(lo, hi), s, ws)
@@ -250,6 +250,9 @@ func (p *SeqParallel) forwardHeads(m *MHA, q, k, v *tensor.Mat, spec *AttentionS
 		outLoc := p.toRows(rank, headsOut, s, ws)
 		tensor.AddInPlace(concat.SliceRows(lo, hi), outLoc)
 	})
+	if err != nil {
+		panic(err)
+	}
 	return concat
 }
 
@@ -263,7 +266,7 @@ func (p *SeqParallel) backwardHeads(m *MHA, dConcat *tensor.Mat) (dq, dk, dv *te
 	dq = p.shared.Get(s, m.Hidden)
 	dk = p.shared.Get(s, m.Hidden)
 	dv = p.shared.Get(s, m.Hidden)
-	dist.Run(p.P, func(rank int) {
+	err := dist.Run(p.comm, func(rank int) {
 		ws := p.wss[rank]
 		lo, hi := p.Shard(rank, s)
 		dch := p.toHeads(rank, dConcat.SliceRows(lo, hi), s, ws)
@@ -282,6 +285,9 @@ func (p *SeqParallel) backwardHeads(m *MHA, dConcat *tensor.Mat) (dq, dk, dv *te
 		tensor.AddInPlace(dk.SliceRows(lo, hi), p.toRows(rank, dkh, s, ws))
 		tensor.AddInPlace(dv.SliceRows(lo, hi), p.toRows(rank, dvh, s, ws))
 	})
+	if err != nil {
+		panic(err)
+	}
 	return dq, dk, dv
 }
 
@@ -308,8 +314,10 @@ func (p *SeqParallel) SyncGradients(params []*nn.Param) {
 		copy(flat.Data[off:], pr.Grad.Data)
 		off += len(pr.Grad.Data)
 	}
-	dist.Run(p.P, func(rank int) {
+	if err := dist.Run(p.comm, func(rank int) {
 		p.comm.AllGather(rank, flat)
-	})
+	}); err != nil {
+		panic(err)
+	}
 	p.shared.Put(flat)
 }

@@ -80,7 +80,13 @@ func TestHTTPPredictErrorPaths(t *testing.T) {
 		t.Fatal("429 must carry a Retry-After header")
 	}
 
-	// A request whose own context is cancelled while queued → 408.
+	// A request whose own context is cancelled while queued → 408. Release
+	// the parked request's admission slot before issuing it — launched any
+	// earlier, the HTTP request could reach admission while the slot is
+	// still occupied and shed with 429 instead of parking.
+	cancel()
+	<-parked
+	waitFor(t, "admission slot to free", func() bool { return r.Stats().Models[0].Pending == 0 })
 	reqCtx, cancelReq := context.WithCancel(context.Background())
 	done := make(chan int, 1)
 	go func() {
@@ -88,10 +94,6 @@ func TestHTTPPredictErrorPaths(t *testing.T) {
 		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/predict?node=3&model=m", nil).WithContext(reqCtx))
 		done <- rec.Code
 	}()
-	// It cannot be admitted while the parked request occupies MaxPending;
-	// release the slot first so it parks in the engine queue, then cancel.
-	cancel()
-	<-parked
 	waitFor(t, "http request to park", func() bool { return r.Stats().Models[0].Pending == 1 })
 	cancelReq()
 	if code := <-done; code != http.StatusRequestTimeout {

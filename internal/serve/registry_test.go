@@ -198,10 +198,14 @@ func TestSwapZeroDowntimeUnderLoad(t *testing.T) {
 	}
 
 	// Two live swaps under load, scraping /metrics after each: generation
-	// must be monotonically increasing there too.
+	// must be monotonically increasing there too. Gate each swap on the
+	// load having observed the currently-live generation (fixed sleeps
+	// flake under the race detector, where a single request can outlast
+	// any reasonable pause).
 	lastMetricGen := metricValue(t, scrape(t, r), `torchgt_generation{model="m"}`)
 	for i, seed := range []int64{65, 66} {
-		time.Sleep(40 * time.Millisecond)
+		gate := uint64(i + 1)
+		waitFor(t, "load to observe the live generation", func() bool { return gensMax.Load() >= gate })
 		if _, err := r.Publish("m", testSnapshot(t, ds, seed)); err != nil {
 			t.Fatal(err)
 		}
@@ -215,7 +219,7 @@ func TestSwapZeroDowntimeUnderLoad(t *testing.T) {
 			lastMetricGen = g
 		}
 	}
-	time.Sleep(40 * time.Millisecond)
+	waitFor(t, "load to reach the final generation", func() bool { return gensMax.Load() >= 3 })
 	close(stop)
 	wg.Wait()
 

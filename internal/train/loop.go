@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"torchgt/internal/dist/transport"
 	"torchgt/internal/model"
 	"torchgt/internal/nn"
 )
@@ -154,7 +155,6 @@ type Loop struct {
 	opt    *nn.Adam
 	sched  nn.LRScheduler
 	params []*nn.Param
-	seqpar *model.SeqParallel // non-nil when the model runs sequence-parallel
 
 	curve       []Point
 	epoch       int  // next epoch to run
@@ -184,7 +184,6 @@ func NewLoop(task Task, m *model.GraphTransformer, cfg Config) *Loop {
 		l.sched = nn.WarmupPoly{Peak: cfg.LR, Warmup: cfg.Warmup, Total: cfg.Epochs, Power: 1}
 	}
 	l.params = m.Params()
-	l.seqpar = model.AsSeqParallel(m.Plan())
 	l.preprocess = task.Preprocess()
 	task.setEmit(l.fire)
 	return l
@@ -259,15 +258,9 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 			if err := ctx.Err(); err != nil {
 				return l.Result(), err
 			}
-			l.Task.Step(l.epoch, l.stepInEpoch, l.globalStep)
-			if l.seqpar != nil {
-				// the gradient-synchronisation collective that closes every
-				// sequence-parallel optimiser step (fixed rank order)
-				l.seqpar.SyncGradients(l.params)
+			if err := l.runStep(); err != nil {
+				return l.Result(), err
 			}
-			nn.StepWith(l.opt, l.sched, l.epoch, l.params)
-			// step boundary: every gradient is consumed, recycle workspaces
-			l.model.Plan().StepReset()
 			l.globalStep++
 			l.stepInEpoch++
 		}
@@ -299,4 +292,67 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 	l.final = res
 	l.finished = true
 	return res, nil
+}
+
+// gradSyncer is implemented by the execution plans that need a
+// gradient-synchronisation collective at optimiser-step boundaries
+// (model.SeqParallel in-process, model.DistSeqParallel across processes).
+// Resolved from the model's plan at step time, not cached at construction,
+// because distributed sessions attach their plan after the trainer is built.
+type gradSyncer interface{ SyncGradients([]*nn.Param) }
+
+// runStep executes one optimiser step as a transaction. Under a distributed
+// plan a peer rank can disappear mid-step — the collective panics with a
+// transport.ErrRankLost — in which case every stream the half-finished step
+// touched is rolled back to the last completed step boundary (dropout and
+// task RNG positions, epoch accumulators, gradients, workspaces) and the
+// error is returned: the Loop is then in exactly the state a step-granular
+// cancellation would have left, so Checkpoint produces a file from which
+// the surviving ranks resume bitwise-identically at a new world size. Any
+// other panic propagates unchanged.
+func (l *Loop) runStep() (err error) {
+	drops := l.model.Dropouts()
+	dropDraws := make([]uint64, len(drops))
+	for i, d := range drops {
+		dropDraws[i] = d.RNGDraws()
+	}
+	var taskDraws uint64
+	src := l.Task.runRNG()
+	if src != nil {
+		taskDraws = src.Draws()
+	}
+	b := l.Task.base()
+	epLoss, epTerms, epPairs := b.epLoss, b.epTerms, b.epPairs
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		e, ok := rec.(error)
+		if !ok || !transport.IsRankLost(e) {
+			panic(rec)
+		}
+		for i, d := range drops {
+			d.SeekRNG(dropDraws[i])
+		}
+		if src != nil {
+			src.Seek(taskDraws)
+		}
+		b.epLoss, b.epTerms, b.epPairs = epLoss, epTerms, epPairs
+		l.model.Plan().StepReset()
+		for _, p := range l.params {
+			p.ZeroGrad()
+		}
+		err = e
+	}()
+	l.Task.Step(l.epoch, l.stepInEpoch, l.globalStep)
+	if gs, ok := l.model.Plan().(gradSyncer); ok {
+		// the gradient-synchronisation collective that closes every
+		// parallel optimiser step (fixed rank order)
+		gs.SyncGradients(l.params)
+	}
+	nn.StepWith(l.opt, l.sched, l.epoch, l.params)
+	// step boundary: every gradient is consumed, recycle workspaces
+	l.model.Plan().StepReset()
+	return nil
 }

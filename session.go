@@ -82,6 +82,12 @@ type sessionSettings struct {
 	sink  func(Event)
 	every int
 	dir   string
+
+	// cross-process training (WithTransport / WithDistPlan; see transport.go)
+	transport    Transport
+	distReplicas int
+	distSeqRanks int
+	distSet      bool
 }
 
 // SessionOption configures a Session (functional options).
@@ -211,6 +217,9 @@ func NewSession(method Method, cfg ModelConfig, task TaskSpec, opts ...SessionOp
 		return nil, err
 	}
 	s := &Session{loop: t.(loopCarrier).Loop(), graphTr: gtr}
+	if err := applyDist(st, s.loop); err != nil {
+		return nil, err
+	}
 	s.loop.Sink = st.sink
 	s.loop.CheckpointEvery = st.every
 	s.loop.CheckpointDir = st.dir
@@ -297,12 +306,17 @@ func (s *Session) Epoch() int { return s.loop.Epoch() }
 // snapshot, custom evaluation, …).
 func (s *Session) Model() *GraphTransformer { return s.loop.Model() }
 
-// CommBytes reports the total simulated collective-communication traffic of
-// a sequence-parallel session so far (resharding all-to-alls plus gradient
-// synchronisation), or 0 when the session runs the single-device plan.
+// CommBytes reports the collective-communication traffic of a parallel
+// session so far (resharding all-to-alls plus gradient synchronisation):
+// all ranks' simulated traffic for an in-process sequence-parallel session,
+// this rank's transport payload bytes for a distributed one, 0 under the
+// single-device plan.
 func (s *Session) CommBytes() int64 {
 	if sp := model.AsSeqParallel(s.loop.Model().Plan()); sp != nil {
 		return sp.Comm().TotalBytes()
+	}
+	if dp := model.AsDistSeqParallel(s.loop.Model().Plan()); dp != nil {
+		return dp.TransportBytes()
 	}
 	return 0
 }
@@ -352,6 +366,13 @@ func ResumeSession(path string, task TaskSpec, opts ...SessionOption) (*Session,
 	// wrong data.
 	st.cfg.DataSpec = task.spec
 	loop.Reconfigure(st.cfg)
+	// Elastic resume: the execution plan is runtime wiring, not checkpoint
+	// state — every plan yields the bitwise-identical trajectory — so a job
+	// checkpointed at one world size may resume under a transport of
+	// another (survivors of a lost rank restart at a smaller P).
+	if err := applyDist(st, loop); err != nil {
+		return nil, err
+	}
 	loop.Sink = st.sink
 	loop.CheckpointEvery = st.every
 	loop.CheckpointDir = st.dir
