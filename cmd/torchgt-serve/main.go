@@ -6,6 +6,8 @@
 // Usage:
 //
 //	torchgt-serve -dataset arxiv-sim -nodes 2048 -epochs 10            # load sweep
+//	torchgt-serve -reorder 8 -epochs 10        # cluster-contiguous layout, external IDs
+
 //	torchgt-serve -data file://real.tgds -epochs 10                   # serve ingested data
 //	torchgt-serve -snapshot model.snap -http :8080                    # HTTP serving
 //	torchgt-serve -epochs 10 -save-snapshot model.snap -loads 200,800 # train, save, sweep
@@ -56,6 +58,7 @@ func main() {
 	dataset := flag.String("dataset", "arxiv-sim", "synthetic node-level dataset name")
 	nodes := flag.Int("nodes", 2048, "node count (0 = preset size)")
 	seed := flag.Int64("seed", 1, "random seed")
+	reorderK := flag.Int("reorder", 0, "cluster-reorder the dataset into K partition-contiguous blocks before training/serving; requests keep using external node IDs (0 = off)")
 	method := flag.String("method", "torchgt", "training method for the quick train")
 	epochs := flag.Int("epochs", 10, "training epochs before serving")
 	snapshotPath := flag.String("snapshot", "", "load a frozen snapshot instead of training (SIGHUP re-reads it in -http mode)")
@@ -108,13 +111,23 @@ func main() {
 		fmt.Printf("compute backend: %s\n", torchgt.ActiveBackend().Name())
 	}
 	var ds *torchgt.NodeDataset
-	if *dataSpec != "" {
-		d, err := torchgt.OpenDataset(*dataSpec)
+	spec := withReorder(*dataSpec, *reorderK)
+	if spec == "" && *reorderK > 0 {
+		// Route the legacy -dataset path through the spec machinery so the
+		// reorder transform applies there too.
+		s := fmt.Sprintf("synth://%s?seed=%d", *dataset, *seed)
+		if *nodes > 0 {
+			s = fmt.Sprintf("synth://%s?nodes=%d&seed=%d", *dataset, *nodes, *seed)
+		}
+		spec = withReorder(s, *reorderK)
+	}
+	if spec != "" {
+		d, err := torchgt.OpenDataset(spec)
 		if err != nil {
 			fail(err)
 		}
 		if d.Node == nil {
-			fail(fmt.Errorf("-data %s is a graph-level dataset; serving needs a node dataset", *dataSpec))
+			fail(fmt.Errorf("-data %s is a graph-level dataset; serving needs a node dataset", spec))
 		}
 		ds = d.Node
 	} else if ds, err = torchgt.LoadNodeDataset(*dataset, *nodes, *seed); err != nil {
@@ -360,6 +373,19 @@ func reloadSnapshot(reg *torchgt.ServeRegistry, model, path string) error {
 	}
 	fmt.Printf("reloaded %s: version %d live (generation %d)\n", path, ver, gen)
 	return nil
+}
+
+// withReorder appends the cluster-reorder transform parameters to a dataset
+// spec (passes through unchanged when spec is empty or k ≤ 0).
+func withReorder(spec string, k int) string {
+	if spec == "" || k <= 0 {
+		return spec
+	}
+	sep := "?"
+	if strings.Contains(spec, "?") {
+		sep = "&"
+	}
+	return fmt.Sprintf("%s%sreorder=cluster&reorderk=%d", spec, sep, k)
 }
 
 func parseLoads(s string) ([]float64, error) {

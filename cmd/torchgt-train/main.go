@@ -12,6 +12,7 @@
 //	torchgt-train -checkpoint-dir ckpts -checkpoint-every 5 -epochs 100
 //	torchgt-train -resume ckpts/epoch-00010.ckpt
 //	torchgt-train -seqlen 512 -patience 8
+//	torchgt-train -reorder 8 -method torchgt    # cluster-contiguous node layout
 //	torchgt-train -seqpar 4 -method torchgt
 //	torchgt-train -backend opt -epochs 20
 //	torchgt-train -rendezvous :7700 -world 4
@@ -77,6 +78,8 @@ func run(ctx context.Context, args []string) error {
 	lr := fs.Float64("lr", 2e-3, "learning rate")
 	seed := fs.Int64("seed", 1, "random seed")
 	seqLen := fs.Int("seqlen", 0, "mini-batched sequence length (node-level; 0 = full-graph sequence)")
+	reorderK := fs.Int("reorder", 0, "cluster-reorder the node dataset into K partition-contiguous blocks (appends reorder=cluster&reorderk=K to the spec; 0 = off)")
+	pack := fs.Bool("pack", false, "pack contiguous sparse-mode graphs of each graph-level batch into one block-diagonal forward (bitwise-identical gradients)")
 	seqPar := fs.Int("seqpar", 1, "sequence-parallel ranks (simulated; bitwise-identical to serial, heads must divide)")
 	execWorkers := fs.Int("exec-workers", 0, "attention-head parallelism (0 = all cores)")
 	unpooled := fs.Bool("unpooled", false, "disable workspace pooling (debug/benchmark)")
@@ -141,6 +144,7 @@ func run(ctx context.Context, args []string) error {
 	// when a resumed checkpoint carried a non-zero patience).
 	addIf(given["patience"] || (fresh && *patience > 0), torchgt.WithEarlyStopping(*patience))
 	addIf(fresh && *seqLen > 0, torchgt.WithSeqLen(*seqLen))
+	addIf((fresh || given["pack"]) && *pack, torchgt.WithPack())
 	// Structural like seed/exec: a resumed checkpoint keeps its own plan.
 	addIf(fresh && *seqPar > 1, torchgt.WithSeqParallel(*seqPar))
 	if *ckptDir != "" {
@@ -159,8 +163,8 @@ func run(ctx context.Context, args []string) error {
 		if *dpReplicas < 1 || *world%*dpReplicas != 0 {
 			return fmt.Errorf("-dp %d does not divide -world %d", *dpReplicas, *world)
 		}
-		fp := fmt.Sprintf("model=%s method=%s data=%s/%s/%d world=%d dp=%d seed=%d seqlen=%d",
-			*modelName, *method, *dataSpec, *dataset, *nodes, *world, *dpReplicas, *seed, *seqLen)
+		fp := fmt.Sprintf("model=%s method=%s data=%s/%s/%d world=%d dp=%d seed=%d seqlen=%d reorder=%d",
+			*modelName, *method, *dataSpec, *dataset, *nodes, *world, *dpReplicas, *seed, *seqLen, *reorderK)
 		var err error
 		tr, err = torchgt.Rendezvous(ctx, *rendezvous, *rank, *world, torchgt.TransportOptions{Fingerprint: fp})
 		if err != nil {
@@ -177,7 +181,7 @@ func run(ctx context.Context, args []string) error {
 	// Resolve the task. Preference order: an explicit -data spec, then the
 	// spec recorded in the -resume checkpoint, then the legacy
 	// -dataset/-nodes synthetic path.
-	task, err := resolveTask(*dataSpec, *dataset, *nodes, *seed, *seqLen, given)
+	task, err := resolveTask(withReorder(*dataSpec, *reorderK), *dataset, *nodes, *seed, *seqLen, *reorderK, given)
 	if err != nil {
 		return err
 	}
@@ -232,7 +236,7 @@ func run(ctx context.Context, args []string) error {
 // resolveTask builds the TaskSpec from the dataset flags. It returns the
 // zero TaskSpec when resuming without dataset flags (the checkpoint's
 // recorded spec takes over).
-func resolveTask(dataSpec, dataset string, nodes int, seed int64, seqLen int, given map[string]bool) (torchgt.TaskSpec, error) {
+func resolveTask(dataSpec, dataset string, nodes int, seed int64, seqLen, reorderK int, given map[string]bool) (torchgt.TaskSpec, error) {
 	if dataSpec != "" {
 		task, err := torchgt.TaskFromSpec(dataSpec)
 		if err != nil {
@@ -248,13 +252,16 @@ func resolveTask(dataSpec, dataset string, nodes int, seed int64, seqLen int, gi
 	}
 	for _, n := range torchgt.GraphDatasetNames() {
 		if n == dataset {
-			return torchgt.GraphLevelTaskFromSpec(fmt.Sprintf("synth://%s?seed=%d", dataset, seed))
+			// withReorder also here: graph-level datasets reject the
+			// transform with a descriptive error instead of ignoring -reorder.
+			return torchgt.GraphLevelTaskFromSpec(withReorder(fmt.Sprintf("synth://%s?seed=%d", dataset, seed), reorderK))
 		}
 	}
 	spec := fmt.Sprintf("synth://%s?seed=%d", dataset, seed)
 	if nodes > 0 {
 		spec = fmt.Sprintf("synth://%s?nodes=%d&seed=%d", dataset, nodes, seed)
 	}
+	spec = withReorder(spec, reorderK)
 	var task torchgt.TaskSpec
 	var err error
 	if seqLen > 0 {
@@ -268,6 +275,19 @@ func resolveTask(dataSpec, dataset string, nodes int, seed int64, seqLen int, gi
 			strings.Join(torchgt.GraphDatasetNames(), ", "))
 	}
 	return task, nil
+}
+
+// withReorder appends the cluster-reorder transform parameters to a dataset
+// spec (passes through unchanged when spec is empty or k ≤ 0).
+func withReorder(spec string, k int) string {
+	if spec == "" || k <= 0 {
+		return spec
+	}
+	sep := "?"
+	if strings.Contains(spec, "?") {
+		sep = "&"
+	}
+	return fmt.Sprintf("%s%sreorder=cluster&reorderk=%d", spec, sep, k)
 }
 
 // openSession builds a fresh session or resumes a checkpoint with an

@@ -16,7 +16,8 @@ import (
 //	jsonl://run/molecules.jsonl              external graph-level ingestion
 //
 // Declarative transforms ride on the spec (?subsample=2048&selfloops=1&
-// permute=1&resplit=0.7:0.1) and run in that fixed order. The contract is
+// permute=1&reorder=cluster&reorderk=8&resplit=0.7:0.1) and run in that
+// fixed order. The contract is
 // determinism: the same spec opens to a bitwise-identical dataset, which
 // is why Session checkpoints record the spec and ResumeSessionFromSpec can
 // rebuild the task without the caller reloading data. See the README
@@ -90,6 +91,11 @@ var (
 	TransformSubsample = data.Subsample
 	// TransformResplit redraws the train/val/test assignment.
 	TransformResplit = data.Resplit
+	// TransformReorderCluster relabels a node dataset cluster-contiguously
+	// (k-way partition, clusters laid out as contiguous ID ranges) and
+	// records the external→storage permutation in Dataset.Node.Reorder, so
+	// labels keep their external meaning at the serving boundary.
+	TransformReorderCluster = data.ReorderCluster
 )
 
 // ApplyTransforms runs transforms over a dataset in order, returning a new

@@ -91,5 +91,37 @@ func runServe(ctx context.Context, w io.Writer, scale Scale) error {
 	fmt.Fprintf(w, "\ntotals: %d requests in %d batches (avg %.1f); %d full flushes, %d deadline flushes\n",
 		st.Requests, st.Batches, st.AvgBatchSize, st.FlushFull, st.FlushDeadline)
 	fmt.Fprintln(w, "expected shape: latency stays near the deadline below the knee; past saturation queueing dominates and batches widen to MaxBatch")
+
+	// Packed-vs-unpacked flush: the same engine with MaxBatch=1 issues one
+	// attention call per request (the pre-packing behaviour); the packed
+	// scheduler coalesces a flush into one block-diagonal forward. Same
+	// offered load on both, so p50/p99 isolate the per-call overhead the
+	// packer removes.
+	unpacked, err := serve.NewServer(snap, ds, serve.Options{
+		Workers: 2, MaxBatch: 1, MaxDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer unpacked.Close()
+	unpacked.PredictBatch(targets[:1]) // warm-up
+	load := 2 * capacity               // past the knee, where flushes actually coalesce
+	fmt.Fprintf(w, "\npacked vs unpacked flush at %.0f req/s offered:\n", load)
+	tb2 := &table{header: []string{"scheduler", "achieved req/s", "p50 ms", "p99 ms", "avg batch"}}
+	for _, sc := range []struct {
+		label string
+		s     *serve.Server
+	}{
+		{"unpacked (MaxBatch=1)", unpacked},
+		{fmt.Sprintf("packed (MaxBatch=%d)", o.MaxBatch), srv},
+	} {
+		lp := serve.RunLoad(sc.s, targets, load, dur)
+		tb2.addRow(sc.label, f1(lp.AchievedRPS),
+			f3(float64(lp.P50.Microseconds())/1000),
+			f3(float64(lp.P99.Microseconds())/1000),
+			f1(lp.AvgBatch))
+	}
+	tb2.write(w)
+	fmt.Fprintln(w, "expected shape: one forward per request saturates well below the packed scheduler; packing sustains more throughput at lower p50/p99")
 	return nil
 }

@@ -20,9 +20,11 @@ import (
 //	magic uint32 "tGDS" | version uint32 | kind uint8 (1 node, 2 graph) |
 //	name uint32 len + bytes |
 //	node kind:  n, e, classes, featdim uint32 | hasBlocks uint8 |
+//	            hasReorder uint8 (version ≥ 2) |
 //	            rowptr [n+1]int32 | colidx [e]int32 | x [n·featdim]float32 |
 //	            y [n]int32 | blocks [n]int32 (if hasBlocks) |
-//	            train/val/test masks 3×[n]uint8
+//	            train/val/test masks 3×[n]uint8 |
+//	            reorder [n]int32 (if hasReorder; external ID → storage row)
 //	graph kind: count uint32 | task uint8 | classes, featdim uint32 |
 //	            per graph: n, e uint32 | rowptr | colidx | feats [n·featdim]float32 |
 //	            labels uint32 len + int32s | targets uint32 len + float32s |
@@ -32,8 +34,10 @@ import (
 // rejected, truncation at any offset errors) and run graph.Validate over
 // every CSR block, so a corrupt file never hands back a half-read dataset.
 const (
-	tgdsMagic   = 0x74474453 // "tGDS"
-	tgdsVersion = 1
+	tgdsMagic = 0x74474453 // "tGDS"
+	// tgdsVersion is the version written; the reader also accepts version 1
+	// (identical except for the node section's reorder field, added in 2).
+	tgdsVersion = 2
 
 	tgdsKindNode  = 1
 	tgdsKindGraph = 2
@@ -129,6 +133,11 @@ func WriteDataset(w io.Writer, d *Dataset) error {
 			hasBlocks = 1
 		}
 		write(hasBlocks)
+		hasReorder := uint8(0)
+		if nd.Reorder != nil {
+			hasReorder = 1
+		}
+		write(hasReorder)
 		write(nd.G.RowPtr)
 		write(nd.G.ColIdx)
 		write(nd.X.Data)
@@ -139,6 +148,9 @@ func WriteDataset(w io.Writer, d *Dataset) error {
 		writeBytes(boolsToBytes(nd.TrainMask))
 		writeBytes(boolsToBytes(nd.ValMask))
 		writeBytes(boolsToBytes(nd.TestMask))
+		if hasReorder == 1 {
+			write(nd.Reorder)
+		}
 		return err
 	}
 
@@ -184,6 +196,11 @@ func checkWritable(d *Dataset) error {
 			len(nd.TrainMask) != n || len(nd.ValMask) != n || len(nd.TestMask) != n {
 			return fmt.Errorf("data: node dataset %q: per-node arrays must have %d entries", nd.Name, n)
 		}
+		if nd.Reorder != nil {
+			if err := checkBijection(nd.Reorder, n); err != nil {
+				return fmt.Errorf("data: node dataset %q: reorder map: %w", nd.Name, err)
+			}
+		}
 		return nil
 	}
 	gd := d.Graph
@@ -226,7 +243,7 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 	if magic != tgdsMagic {
 		return nil, fmt.Errorf("not a tGDS dataset (magic %#x)", magic)
 	}
-	if version != tgdsVersion {
+	if version < 1 || version > tgdsVersion {
 		return nil, fmt.Errorf("unsupported tGDS version %d (have %d)", version, tgdsVersion)
 	}
 	read(&kind)
@@ -245,14 +262,14 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 
 	switch kind {
 	case tgdsKindNode:
-		return readNodeSection(r, string(name))
+		return readNodeSection(r, string(name), version)
 	case tgdsKindGraph:
 		return readGraphSection(r, string(name))
 	}
 	return nil, fmt.Errorf("corrupt tGDS header: unknown dataset kind %d", kind)
 }
 
-func readNodeSection(r io.Reader, name string) (*Dataset, error) {
+func readNodeSection(r io.Reader, name string, version uint32) (*Dataset, error) {
 	le := binary.LittleEndian
 	var err error
 	read := func(v any) {
@@ -261,16 +278,19 @@ func readNodeSection(r io.Reader, name string) (*Dataset, error) {
 		}
 	}
 	var n, e, classes, featDim uint32
-	var hasBlocks uint8
+	var hasBlocks, hasReorder uint8
 	read(&n)
 	read(&e)
 	read(&classes)
 	read(&featDim)
 	read(&hasBlocks)
+	if version >= 2 {
+		read(&hasReorder)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("truncated tGDS node header: %w", err)
 	}
-	if n > maxNodes || e > maxEdges || featDim > maxFeatDim || hasBlocks > 1 ||
+	if n > maxNodes || e > maxEdges || featDim > maxFeatDim || hasBlocks > 1 || hasReorder > 1 ||
 		uint64(n)*uint64(featDim) > maxElems {
 		return nil, fmt.Errorf("corrupt tGDS node header (n=%d e=%d featdim=%d)", n, e, featDim)
 	}
@@ -299,10 +319,35 @@ func readNodeSection(r io.Reader, name string) (*Dataset, error) {
 	nd.TrainMask = bytesToBools(masks[:n])
 	nd.ValMask = bytesToBools(masks[n : 2*n])
 	nd.TestMask = bytesToBools(masks[2*n:])
+	if hasReorder == 1 {
+		nd.Reorder = make([]int32, n)
+		read(nd.Reorder)
+		if err != nil {
+			return nil, fmt.Errorf("truncated tGDS node section: %w", err)
+		}
+		if berr := checkBijection(nd.Reorder, int(n)); berr != nil {
+			return nil, fmt.Errorf("corrupt tGDS node section: reorder map: %w", berr)
+		}
+	}
 	if err := nd.G.Validate(); err != nil {
 		return nil, fmt.Errorf("corrupt tGDS node section: %w", err)
 	}
 	return &Dataset{Node: nd}, nil
+}
+
+// checkBijection verifies that perm is a bijection on [0, n).
+func checkBijection(perm []int32, n int) error {
+	if len(perm) != n {
+		return fmt.Errorf("%d entries for %d nodes", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for i, v := range perm {
+		if v < 0 || int(v) >= n || seen[v] {
+			return fmt.Errorf("entry %d=%d is not part of a bijection on [0,%d)", i, v, n)
+		}
+		seen[v] = true
+	}
+	return nil
 }
 
 func readGraphSection(r io.Reader, name string) (*Dataset, error) {

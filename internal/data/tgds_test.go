@@ -38,6 +38,7 @@ func nodeEqual(t *testing.T, a, b *graph.NodeDataset) {
 	}
 	int32sEqual(t, "labels", a.Y, b.Y)
 	int32sEqual(t, "blocks", a.Blocks, b.Blocks)
+	int32sEqual(t, "reorder", a.Reorder, b.Reorder)
 	for i := range a.Y {
 		if a.TrainMask[i] != b.TrainMask[i] || a.ValMask[i] != b.ValMask[i] || a.TestMask[i] != b.TestMask[i] {
 			t.Fatalf("masks differ at node %d", i)

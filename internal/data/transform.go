@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"torchgt/internal/graph"
+	"torchgt/internal/partition"
 	"torchgt/internal/tensor"
 )
 
@@ -25,9 +26,11 @@ type Transform interface {
 
 // transformParams are the spec parameters the transform stage consumes, in
 // their fixed application order: subsample first (cheapest point to cut the
-// data down), then selfloops, permute, and resplit last (splits refer to
-// the final node/graph set).
-var transformParams = []string{"subsample", "selfloops", "permute", "resplit"}
+// data down), then selfloops, permute, reorder (locality layout is derived
+// from the final graph structure, after any adversarial shuffle), and
+// resplit last (splits refer to the final node/graph set). reorderk rides
+// along with reorder.
+var transformParams = []string{"subsample", "selfloops", "permute", "reorder", "reorderk", "resplit"}
 
 // Per-stage seed offsets: each seeded transform draws from its own stream
 // so adding one stage never shifts another's randomness.
@@ -35,6 +38,7 @@ const (
 	seedOffSubsample = 1
 	seedOffPermute   = 2
 	seedOffResplit   = 3
+	seedOffReorder   = 4
 )
 
 // transformsFromSpec builds the declarative transform pipeline of a spec.
@@ -57,6 +61,21 @@ func transformsFromSpec(sp Spec) ([]Transform, error) {
 		return nil, err
 	} else if on {
 		ts = append(ts, Permute(sp.Seed+seedOffPermute))
+	}
+	if v, ok := sp.Params["reorder"]; ok {
+		if v != "cluster" {
+			return nil, fmt.Errorf("data: parameter reorder=%q: want cluster", v)
+		}
+		k, err := sp.intParam("reorderk", 0)
+		if err != nil {
+			return nil, err
+		}
+		if sp.param("reorderk") != "" && k <= 0 {
+			return nil, fmt.Errorf("data: parameter reorderk=%q: want a positive cluster count", sp.param("reorderk"))
+		}
+		ts = append(ts, ReorderCluster(k, sp.Seed+seedOffReorder))
+	} else if sp.param("reorderk") != "" {
+		return nil, fmt.Errorf("data: parameter reorderk=%q requires reorder=cluster", sp.param("reorderk"))
 	}
 	if v := sp.param("resplit"); v != "" {
 		trainS, valS, ok := strings.Cut(v, ":")
@@ -162,7 +181,51 @@ func permuteNode(nd *graph.NodeDataset, perm []int32) *graph.NodeDataset {
 		out.TestMask[nw] = nd.TestMask[old]
 		copy(out.X.Row(int(nw)), nd.X.Row(old))
 	}
+	if nd.Reorder != nil {
+		// compose: external IDs bound to old rows now land on perm[old].
+		out.Reorder = make([]int32, n)
+		for ext, old := range nd.Reorder {
+			out.Reorder[ext] = perm[old]
+		}
+	}
 	return out
+}
+
+type reorderCluster struct {
+	k    int
+	seed int64
+}
+
+// ReorderCluster relabels a node-level dataset so partition clusters occupy
+// contiguous ID ranges — the paper's locality reordering: cluster-sparse
+// attention's k×k blocks become dense diagonal runs and every kernel walks
+// warmer cache lines. k is the cluster count (0 picks 8, the training
+// default); seed feeds the partitioner, so the same spec + seed reproduces
+// the same layout bit for bit. The pre-reorder node labelling is recorded in
+// the dataset's Reorder map so external callers (the serving /predict
+// boundary) are unaffected. Graph-level datasets are rejected: their member
+// graphs are too small to partition and their node IDs are never external.
+func ReorderCluster(k int, seed int64) Transform { return reorderCluster{k, seed} }
+
+func (reorderCluster) Name() string { return "reorder" }
+
+func (t reorderCluster) Apply(d *Dataset) (*Dataset, error) {
+	nd := d.Node
+	if nd == nil {
+		return nil, fmt.Errorf("cluster reordering applies to node-level datasets only")
+	}
+	k := t.k
+	if k <= 0 {
+		k = 8
+	}
+	part := partition.Partition(nd.G, k, t.seed)
+	perm, _ := partition.ClusterOrder(part, k)
+	out := permuteNode(nd, perm)
+	if out.Reorder == nil {
+		// first reorder: external IDs are the pre-reorder rows.
+		out.Reorder = append([]int32(nil), perm...)
+	}
+	return &Dataset{Node: out}, nil
 }
 
 type subsample struct {

@@ -44,6 +44,22 @@ type NodeDataset struct {
 	TrainMask  []bool
 	ValMask    []bool
 	TestMask   []bool
+	// Reorder, when non-nil, maps external node IDs to storage rows
+	// (Reorder[ext] = row; a bijection on [0, G.N)). The cluster-reorder
+	// transform records it so callers that accept node IDs from outside —
+	// the serving /predict boundary above all — keep honouring the
+	// pre-reorder labelling while every internal array lives in the
+	// locality-optimised layout. Nil means identity (external = storage).
+	Reorder []int32
+}
+
+// StorageRow translates an external node ID to its storage row (identity
+// when the dataset was never reordered).
+func (d *NodeDataset) StorageRow(ext int32) int32 {
+	if d.Reorder == nil {
+		return ext
+	}
+	return d.Reorder[ext]
 }
 
 // GraphDataset is a set of small graphs with per-graph features and targets —

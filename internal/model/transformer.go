@@ -23,7 +23,11 @@ type GraphTransformer struct {
 	FinalLN  *nn.LayerNorm
 	Head     *nn.Linear
 	InDrop   *nn.Dropout
-	numToken int // cached sequence length incl. global token
+	numToken int // cached sequence length incl. global token(s)
+
+	segRows []int32 // packed feature-row bounds of the last forward (nil when unpacked)
+	segSeq  []int32 // matching sequence-position bounds (segRows[s]+s)
+	segHead []int32 // readout-row bounds [0,1,…,B] for the Head reduction
 
 	plan Plan
 }
@@ -60,6 +64,15 @@ type Inputs struct {
 	DegInIdx, DegOutIdx []int32
 	// LapPE is the positional encoding matrix (required iff UseLapPE).
 	LapPE *tensor.Mat
+	// SegRows, when non-nil, marks X as a packed batch of B segments:
+	// ascending feature-row bounds of length B+1 covering [0, X.Rows].
+	// Requires GlobalToken — the model prepends one readout token per
+	// segment (at sequence position SegRows[s]+s), the AttentionSpec's
+	// pattern must be the matching block-diagonal mask over those
+	// per-segment sequences, Forward returns B×OutDim (one readout row per
+	// segment), and every row reduction is segmented so gradients match a
+	// separate per-segment run bit for bit.
+	SegRows []int32
 }
 
 // NewGraphTransformer builds the model from cfg.
@@ -128,9 +141,48 @@ func (g *GraphTransformer) Dropouts() []*nn.Dropout {
 	return out
 }
 
+// applySegments installs (or, with nil, clears) the packed-batch row bounds
+// on every Linear whose weight-gradient reduction spans rows from more than
+// one segment: feature-row bounds on the input/PE projections, sequence
+// bounds on each block's projections and FFN, and per-readout-row bounds on
+// the head. LayerNorms, embeddings, dropout and the bias/ColSum reductions
+// are already row-local (or row-ascending) and need no segmentation — see
+// DESIGN.md "Locality: reordering and packing".
+func (g *GraphTransformer) applySegments(segRows []int32) {
+	g.segRows, g.segSeq, g.segHead = nil, g.segSeq[:0], g.segHead[:0]
+	var feat, seq, head []int32
+	if segRows != nil {
+		if g.Global == nil {
+			panic("model: Inputs.SegRows requires GlobalToken")
+		}
+		g.segRows = segRows
+		for s, r := range segRows {
+			g.segSeq = append(g.segSeq, r+int32(s))
+		}
+		for s := 0; s < len(segRows); s++ {
+			g.segHead = append(g.segHead, int32(s))
+		}
+		feat, seq, head = segRows, g.segSeq, g.segHead
+	}
+	g.InProj.SetSegments(feat)
+	if g.LapProj != nil {
+		g.LapProj.SetSegments(feat)
+	}
+	for _, b := range g.Blocks {
+		b.Attn.WQ.SetSegments(seq)
+		b.Attn.WK.SetSegments(seq)
+		b.Attn.WV.SetSegments(seq)
+		b.Attn.WO.SetSegments(seq)
+		b.FC1.SetSegments(seq)
+		b.FC2.SetSegments(seq)
+	}
+	g.Head.SetSegments(head)
+}
+
 // embed builds the token sequence h⁰: projected features plus degree/PE
-// encodings, with the global token (if any) prepended at position 0. The
-// AttentionSpec's pattern must already account for the global token.
+// encodings, with the global token (if any) prepended at position 0 — or,
+// for a packed batch, one global-token row per segment at its block start.
+// The AttentionSpec's pattern must already account for the global token(s).
 func (g *GraphTransformer) embed(in *Inputs, train bool) *tensor.Mat {
 	h := g.InProj.Forward(in.X)
 	if g.DegIn != nil {
@@ -140,7 +192,21 @@ func (g *GraphTransformer) embed(in *Inputs, train bool) *tensor.Mat {
 	if g.LapProj != nil {
 		tensor.AddInPlace(h, g.LapProj.Forward(in.LapPE))
 	}
-	if g.Global != nil {
+	switch {
+	case g.segRows != nil:
+		// One readout token per segment. Interleaving global row then node
+		// rows per segment reproduces, element for element, the order a
+		// separate per-segment embed would feed the input dropout, keeping
+		// the RNG stream bitwise identical to the unpacked loop.
+		b := len(g.segRows) - 1
+		seq := tensor.New(h.Rows+b, g.Cfg.Hidden)
+		for s := 0; s < b; s++ {
+			lo, hi := int(g.segRows[s]), int(g.segRows[s+1])
+			copy(seq.Row(lo+s), g.Global.W.Row(0))
+			copy(seq.Data[(lo+s+1)*g.Cfg.Hidden:], h.Data[lo*g.Cfg.Hidden:hi*g.Cfg.Hidden])
+		}
+		h = seq
+	case g.Global != nil:
 		seq := tensor.New(h.Rows+1, g.Cfg.Hidden)
 		copy(seq.Row(0), g.Global.W.Row(0))
 		copy(seq.Data[g.Cfg.Hidden:], h.Data)
@@ -159,11 +225,23 @@ func (g *GraphTransformer) embed(in *Inputs, train bool) *tensor.Mat {
 // within one step therefore see stable buffers.
 func (g *GraphTransformer) Forward(in *Inputs, spec *AttentionSpec, train bool) *tensor.Mat {
 	g.Plan().StepReset()
+	g.applySegments(in.SegRows)
 	h := g.embed(in, train)
 	for _, b := range g.Blocks {
 		h = b.Forward(h, spec, train)
 	}
 	h = g.FinalLN.Forward(h)
+	if g.segRows != nil {
+		// Gather the per-segment readout rows into a B×Hidden matrix; the
+		// head then maps each to logits independently (its reduction is
+		// segmented per row, matching B separate 1-row head calls).
+		b := len(g.segRows) - 1
+		ro := tensor.New(b, g.Cfg.Hidden)
+		for s := 0; s < b; s++ {
+			copy(ro.Row(s), h.Row(int(g.segSeq[s])))
+		}
+		return g.Head.Forward(ro)
+	}
 	if g.Global != nil {
 		return g.Head.Forward(h.SliceRows(0, 1))
 	}
@@ -174,11 +252,18 @@ func (g *GraphTransformer) Forward(in *Inputs, spec *AttentionSpec, train bool) 
 // return) into all parameters.
 func (g *GraphTransformer) Backward(dLogits *tensor.Mat) {
 	var dh *tensor.Mat
-	if g.Global != nil {
+	switch {
+	case g.segRows != nil:
+		dRo := g.Head.Backward(dLogits) // B×Hidden
+		dh = tensor.New(g.numToken, g.Cfg.Hidden)
+		for s := 0; s+1 < len(g.segSeq); s++ {
+			copy(dh.Row(int(g.segSeq[s])), dRo.Row(s))
+		}
+	case g.Global != nil:
 		dRow := g.Head.Backward(dLogits) // 1×Hidden
 		dh = tensor.New(g.numToken, g.Cfg.Hidden)
 		copy(dh.Row(0), dRow.Row(0))
-	} else {
+	default:
 		dh = g.Head.Backward(dLogits)
 	}
 	dh = g.FinalLN.Backward(dh)
@@ -186,7 +271,19 @@ func (g *GraphTransformer) Backward(dLogits *tensor.Mat) {
 		dh = g.Blocks[i].Backward(dh)
 	}
 	dh = g.InDrop.Backward(dh)
-	if g.Global != nil {
+	switch {
+	case g.segRows != nil:
+		// Per-segment readout-token gradient and global-row stripping, in
+		// ascending segment order — the order the unpacked loop accumulates.
+		b := len(g.segRows) - 1
+		dFeat := tensor.New(int(g.segRows[b]), g.Cfg.Hidden)
+		for s := 0; s < b; s++ {
+			lo, hi := int(g.segRows[s]), int(g.segRows[s+1])
+			tensor.Axpy(1, dh.Row(lo+s), g.Global.Grad.Row(0))
+			copy(dFeat.Data[lo*g.Cfg.Hidden:hi*g.Cfg.Hidden], dh.Data[(lo+s+1)*g.Cfg.Hidden:])
+		}
+		dh = dFeat
+	case g.Global != nil:
 		tensor.Axpy(1, dh.Row(0), g.Global.Grad.Row(0))
 		dh = dh.SliceRows(1, g.numToken)
 	}

@@ -14,6 +14,15 @@ type Linear struct {
 
 	x *tensor.Mat // cached input for backward
 	z *tensor.Mat // cached pre-activation for BackwardGELU (fused path only)
+
+	// segs, when non-nil, are packed-batch row bounds (len = segments+1,
+	// ascending, covering [0, rows]): the weight gradient is then reduced
+	// segment by segment — TMatMul over each row range, accumulated in
+	// bounds order — reproducing bit for bit the summation order of
+	// separate per-segment Backward calls. The bias gradient needs no such
+	// treatment: ColSum already accumulates row-ascending directly into
+	// the grad, which is the same order packed or not.
+	segs []int32
 }
 
 // NewLinear constructs a Linear layer with Xavier-initialised weights.
@@ -45,11 +54,34 @@ func (l *Linear) Forward(x *tensor.Mat) *tensor.Mat {
 	return y
 }
 
+// SetSegments installs packed-batch row bounds consulted by Backward and
+// BackwardGELU (nil restores the single whole-input reduction). The bounds
+// must cover the rows of the NEXT backward's upstream gradient.
+func (l *Linear) SetSegments(bounds []int32) { l.segs = bounds }
+
+// accumWeightGrad adds xᵀ·dy to the weight gradient — in one reduction
+// normally, or segment by segment under SetSegments so a packed batch
+// accumulates in exactly the order the unpacked per-segment calls would.
+func (l *Linear) accumWeightGrad(x, dy *tensor.Mat) {
+	dW := tensor.New(l.In, l.Out)
+	if l.segs == nil {
+		tensor.TMatMul(dW, x, dy)
+		tensor.AddInPlace(l.W.Grad, dW)
+		return
+	}
+	for s := 0; s+1 < len(l.segs); s++ {
+		lo, hi := int(l.segs[s]), int(l.segs[s+1])
+		if lo == hi {
+			continue
+		}
+		tensor.TMatMul(dW, x.SliceRows(lo, hi), dy.SliceRows(lo, hi))
+		tensor.AddInPlace(l.W.Grad, dW)
+	}
+}
+
 // Backward accumulates dW, db and returns dX.
 func (l *Linear) Backward(dy *tensor.Mat) *tensor.Mat {
-	dW := tensor.New(l.In, l.Out)
-	tensor.TMatMul(dW, l.x, dy)
-	tensor.AddInPlace(l.W.Grad, dW)
+	l.accumWeightGrad(l.x, dy)
 	if l.B != nil {
 		tensor.ColSum(l.B.Grad.Data, dy)
 	}
@@ -83,9 +115,7 @@ func (l *Linear) ForwardGELU(x *tensor.Mat) *tensor.Mat {
 func (l *Linear) BackwardGELU(dy *tensor.Mat) *tensor.Mat {
 	dz := tensor.New(dy.Rows, dy.Cols)
 	tensor.BiasGELUGrad(dz, l.B.Grad.Data, l.z, dy)
-	dW := tensor.New(l.In, l.Out)
-	tensor.TMatMul(dW, l.x, dz)
-	tensor.AddInPlace(l.W.Grad, dW)
+	l.accumWeightGrad(l.x, dz)
 	dx := tensor.New(dz.Rows, l.In)
 	tensor.MatMulT(dx, dz, l.W.W)
 	return dx

@@ -1,0 +1,151 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"torchgt/internal/graph"
+)
+
+// checkBijection fails unless perm is a bijection on [0, n).
+func checkBijection(t *testing.T, perm []int32, n int) {
+	t.Helper()
+	if len(perm) != n {
+		t.Fatalf("perm length %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for old, nw := range perm {
+		if nw < 0 || int(nw) >= n {
+			t.Fatalf("perm[%d] = %d outside [0, %d)", old, nw, n)
+		}
+		if seen[nw] {
+			t.Fatalf("perm maps two nodes to %d", nw)
+		}
+		seen[nw] = true
+	}
+}
+
+// TestClusterOrderBijection pins the core contract the reorder transform and
+// the cluster layout both lean on: ClusterOrder yields a bijection on [0, n)
+// with monotone bounds that tile [0, n] exactly, and nodes of cluster c land
+// precisely in [bounds[c], bounds[c+1]) in ascending old-ID order.
+func TestClusterOrderBijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 7, 100, 513} {
+		for _, k := range []int{1, 2, 8, 16} {
+			g := graph.BarabasiAlbert(n, 3, rng)
+			part := Partition(g, k, 42)
+			perm, bounds := ClusterOrder(part, k)
+			checkBijection(t, perm, n)
+			if len(bounds) != k+1 || bounds[0] != 0 || int(bounds[k]) != n {
+				t.Fatalf("n=%d k=%d: bounds %v do not tile [0, %d]", n, k, bounds, n)
+			}
+			prev := int32(-1)
+			for c := 0; c < k; c++ {
+				if bounds[c+1] < bounds[c] {
+					t.Fatalf("bounds not monotone: %v", bounds)
+				}
+				prev = -1
+				for old := 0; old < n; old++ {
+					if part[old] != int32(c) {
+						continue
+					}
+					nw := perm[old]
+					if nw < bounds[c] || nw >= bounds[c+1] {
+						t.Fatalf("node %d (cluster %d) placed at %d outside [%d, %d)",
+							old, c, nw, bounds[c], bounds[c+1])
+					}
+					if nw <= prev {
+						t.Fatalf("cluster %d not in ascending old-ID order", c)
+					}
+					prev = nw
+				}
+			}
+		}
+	}
+}
+
+// TestClusterOrderEmptyAndSingletonClusters pins the degenerate shapes: a
+// hand-built assignment with empty clusters and a singleton cluster must
+// still produce a bijection, with zero-width bounds for the empty ones.
+func TestClusterOrderEmptyAndSingletonClusters(t *testing.T) {
+	// k=5: cluster 0 empty, cluster 2 singleton, cluster 4 empty.
+	part := []int32{1, 3, 1, 2, 3, 1}
+	perm, bounds := ClusterOrder(part, 5)
+	checkBijection(t, perm, len(part))
+	want := []int32{0, 0, 3, 4, 6, 6}
+	for i := range want {
+		if bounds[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", bounds, want)
+		}
+	}
+	if bounds[1]-bounds[0] != 0 || bounds[5]-bounds[4] != 0 {
+		t.Fatalf("empty clusters must have zero width: %v", bounds)
+	}
+	if bounds[3]-bounds[2] != 1 {
+		t.Fatalf("singleton cluster width %d, want 1", bounds[3]-bounds[2])
+	}
+}
+
+// TestPartitionKExceedsN pins the k > n fallback (round-robin parts) and
+// that ClusterOrder still yields a valid permutation over the many-empty
+// bounds it produces.
+func TestPartitionKExceedsN(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.BarabasiAlbert(6, 2, rng)
+	k := 11
+	part := Partition(g, k, 1)
+	for i, p := range part {
+		if int(p) != i%k {
+			t.Fatalf("k>n: part[%d] = %d, want %d", i, p, i%k)
+		}
+	}
+	perm, bounds := ClusterOrder(part, k)
+	checkBijection(t, perm, g.N)
+	if len(bounds) != k+1 || int(bounds[k]) != g.N {
+		t.Fatalf("bounds %v, want k+1 entries ending at %d", bounds, g.N)
+	}
+}
+
+// TestClusterOrderPermuteRoundTrip pins what the data-layer reorder relies
+// on: permuting a graph (with self-loops) by a cluster order preserves the
+// edge set under relabeling — in particular every self-loop survives — and
+// permuting back by the inverse recovers the original adjacency exactly.
+func TestClusterOrderPermuteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.BarabasiAlbert(64, 3, rng).WithSelfLoops()
+	part := Partition(g, 4, 7)
+	perm, _ := ClusterOrder(part, 4)
+	pg := g.Permute(perm)
+
+	for u := int32(0); int(u) < g.N; u++ {
+		if !pg.HasEdge(perm[u], perm[u]) {
+			t.Fatalf("self-loop on %d lost by permutation", u)
+		}
+		for _, v := range g.Neighbors(int(u)) {
+			if !pg.HasEdge(perm[u], perm[v]) {
+				t.Fatalf("edge (%d,%d) lost by permutation", u, v)
+			}
+		}
+	}
+	if pg.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d -> %d", g.NumEdges(), pg.NumEdges())
+	}
+
+	inv := make([]int32, len(perm))
+	for old, nw := range perm {
+		inv[nw] = int32(old)
+	}
+	back := pg.Permute(inv)
+	for u := 0; u < g.N; u++ {
+		a, b := g.Neighbors(u), back.Neighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: degree %d -> %d after round trip", u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d: adjacency differs after round trip", u)
+			}
+		}
+	}
+}

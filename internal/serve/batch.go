@@ -61,18 +61,22 @@ func egoNodes(g *graph.Graph, target int32, hops, maxCtx int) []int32 {
 	return nodes
 }
 
-// segment is the memoised per-node context: ego nodes plus the local
-// (self-loop-augmented) topology pairs of their induced subgraph.
+// segment is the memoised per-node context: ego nodes (storage rows) plus
+// the local (self-loop-augmented) topology pattern of their induced subgraph
+// and its bias buckets — exactly what the packer consumes, so batch assembly
+// is a pure concatenation with no per-batch pair sorting.
 type segment struct {
-	nodes []int32
-	pairs []graph.Edge
+	nodes   []int32
+	pat     *sparse.Pattern
+	buckets []int32
 }
 
-// segmentFor returns the (cached) context segment of one node. Segments are
-// immutable once built and a pure function of (graph, context shape, node),
-// so they live in the EgoCache — shared across snapshot generations when the
-// server was built by a Registry — and a hit skips BFS, subgraph induction
-// and pattern construction entirely. The hit path allocates nothing.
+// segmentFor returns the (cached) context segment of one node (a storage
+// row). Segments are immutable once built and a pure function of (graph,
+// context shape, node), so they live in the EgoCache — shared across
+// snapshot generations when the server was built by a Registry — and a hit
+// skips BFS, subgraph induction and pattern construction entirely. The hit
+// path allocates nothing.
 func (s *Server) segmentFor(node int32) *segment {
 	k := ctxKey{gver: s.gver, hops: int32(s.opts.CtxHops), size: int32(s.opts.CtxSize), node: node}
 	if seg, ok := s.cache.get(k); ok {
@@ -80,25 +84,25 @@ func (s *Server) segmentFor(node int32) *segment {
 	}
 	nodes := egoNodes(s.ds.G, node, s.opts.CtxHops, s.opts.CtxSize)
 	sp := sparse.FromGraph(s.ds.G.InducedSubgraph(nodes)) // self-loops added
-	var pairs []graph.Edge
-	for r := 0; r < sp.S; r++ {
-		for _, c := range sp.Row(r) {
-			pairs = append(pairs, graph.Edge{U: int32(r), V: c})
-		}
-	}
-	return s.cache.put(k, &segment{nodes: nodes, pairs: pairs})
+	return s.cache.put(k, &segment{nodes: nodes, pat: sp, buckets: sp.LocalEdgeBuckets(false, 0)})
 }
 
-// builtBatch is one ready-to-execute forward pass.
+// builtBatch is one ready-to-execute forward pass. packer holds the pooled
+// block-diagonal assembler whose buffers the spec aliases; runJob returns it
+// to the pool once the forward is done with them.
 type builtBatch struct {
 	in      *model.Inputs
 	spec    *model.AttentionSpec
 	targets []int // sequence row of each request's target node
+	packer  *sparse.Packer
 }
 
 // buildBatch materialises the concatenated sequence for one batch of target
-// nodes. It is a pure function of (dataset, options, nodes) — all the
-// determinism guarantees rest on that; the segment cache only memoises it.
+// nodes (external IDs — translated to storage rows here, at the boundary,
+// so responses and cache hits agree with pre-reorder labels while everything
+// downstream runs in the locality-optimised layout). It is a pure function
+// of (dataset, options, nodes) — all the determinism guarantees rest on
+// that; the segment cache only memoises it.
 func (s *Server) buildBatch(nodes []int32) (*builtBatch, error) {
 	ds, cfg := s.ds, s.snap.Config()
 	segs := make([]*segment, len(nodes))
@@ -107,7 +111,7 @@ func (s *Server) buildBatch(nodes []int32) (*builtBatch, error) {
 		if n < 0 || int(n) >= ds.G.N {
 			return nil, fmt.Errorf("serve: node %d out of range [0, %d)", n, ds.G.N)
 		}
-		segs[i] = s.segmentFor(n)
+		segs[i] = s.segmentFor(ds.StorageRow(n))
 		total += len(segs[i].nodes)
 	}
 
@@ -115,9 +119,8 @@ func (s *Server) buildBatch(nodes []int32) (*builtBatch, error) {
 	degIn := make([]int32, total)
 	degOut := make([]int32, total)
 	targets := make([]int, len(nodes))
-	var pairs []graph.Edge
-	bounds := make([]int32, 0, len(nodes)+1)
-	bounds = append(bounds, 0)
+	packer := s.packers.Get().(*sparse.Packer)
+	packer.Reset()
 
 	base := 0
 	for i, seg := range segs {
@@ -129,22 +132,20 @@ func (s *Server) buildBatch(nodes []int32) (*builtBatch, error) {
 			degIn[base+p] = s.degIn[v]
 			degOut[base+p] = s.degOut[v]
 		}
-		for _, e := range seg.pairs {
-			pairs = append(pairs, graph.Edge{U: int32(base) + e.U, V: int32(base) + e.V})
-		}
+		packer.Append(seg.pat, seg.buckets)
 		base += len(seg.nodes)
-		bounds = append(bounds, int32(base))
 	}
 
 	in := &model.Inputs{X: x}
 	if cfg.UseDegreeEnc {
 		in.DegInIdx, in.DegOutIdx = degIn, degOut
 	}
-	spec, err := specFor(s.opts, total, pairs, bounds)
+	spec, err := specFor(s.opts, packer.Pattern(), packer.Buckets(), packer.Bounds())
 	if err != nil {
+		s.packers.Put(packer)
 		return nil, err
 	}
-	return &builtBatch{in: in, spec: spec, targets: targets}, nil
+	return &builtBatch{in: in, spec: spec, targets: targets, packer: packer}, nil
 }
 
 // Mode selects the attention kernel of the serving forward pass. It is a
@@ -200,17 +201,21 @@ func ParseMode(s string) (Mode, error) {
 }
 
 // specFor builds the attention spec of a batch for the configured kernel.
-func specFor(opts Options, total int, pairs []graph.Edge, bounds []int32) (*model.AttentionSpec, error) {
+// pattern/buckets/bounds come from the batch packer: the block-diagonal
+// pattern over the concatenated segments, the concatenated per-entry bias
+// buckets, and the segment boundaries. The sparse modes consume them
+// directly — identical, entry for entry, to the pair-sort path they replace,
+// since each segment's CSR is already sorted and segments occupy disjoint
+// ascending ranges.
+func specFor(opts Options, pattern *sparse.Pattern, buckets []int32, bounds []int32) (*model.AttentionSpec, error) {
 	switch opts.Mode {
 	case ModeSparse:
-		p := sparse.FromPairs(total, pairs)
 		return &model.AttentionSpec{
-			Mode: model.ModeSparse, Pattern: p,
-			EdgeBuckets: p.LocalEdgeBuckets(false, 0), BF16: opts.BF16,
+			Mode: model.ModeSparse, Pattern: pattern,
+			EdgeBuckets: buckets, BF16: opts.BF16,
 		}, nil
 	case ModeClusterSparse:
-		p := sparse.FromPairs(total, pairs)
-		cl, err := sparse.NewClusterLayout(p, bounds)
+		cl, err := sparse.NewClusterLayout(pattern, bounds)
 		if err != nil {
 			return nil, err
 		}

@@ -29,6 +29,7 @@ import (
 	"torchgt/internal/encoding"
 	"torchgt/internal/graph"
 	"torchgt/internal/model"
+	"torchgt/internal/sparse"
 )
 
 // ErrClosed is returned (wrapped in Response.Err) for requests submitted
@@ -193,6 +194,12 @@ type Server struct {
 	cache         *EgoCache
 	gver          uint64 // cache version of ds.G
 
+	// packers pools the per-batch block-diagonal assemblers: one per
+	// in-flight batch, drawn in buildBatch and returned after the forward,
+	// so steady-state batches reuse grown buffers instead of re-sorting
+	// pair lists.
+	packers sync.Pool
+
 	mu     sync.RWMutex // guards closed and sends into reqCh/jobCh
 	closed bool
 
@@ -247,7 +254,7 @@ func NewServer(snap *Snapshot, ds *graph.NodeDataset, opts Options) (*Server, er
 	if err := validateServable(snap.Config(), ds); err != nil {
 		return nil, err
 	}
-	if _, err := specFor(opts, 1, nil, []int32{0, 1}); err != nil {
+	if _, err := specFor(opts, sparse.FromPairs(1, nil), nil, []int32{0, 1}); err != nil {
 		return nil, err
 	}
 
@@ -279,14 +286,15 @@ func NewServer(snap *Snapshot, ds *graph.NodeDataset, opts Options) (*Server, er
 		cache = NewEgoCache(opts.CacheCap)
 	}
 	s := &Server{
-		snap:  snap,
-		ds:    ds,
-		opts:  opts,
-		exec:  exec,
-		cache: cache,
-		gver:  cache.versionOf(ds.G),
-		reqCh: make(chan *request, opts.QueueCap),
-		jobCh: make(chan *job),
+		snap:    snap,
+		ds:      ds,
+		opts:    opts,
+		exec:    exec,
+		cache:   cache,
+		gver:    cache.versionOf(ds.G),
+		reqCh:   make(chan *request, opts.QueueCap),
+		jobCh:   make(chan *job),
+		packers: sync.Pool{New: func() any { return sparse.NewPacker() }},
 	}
 	s.degIn, s.degOut = encoding.DegreeBuckets(ds.G, encoding.MaxDegreeBucket)
 	go s.batchLoop()
@@ -618,6 +626,9 @@ func (s *Server) runJob(m *model.GraphTransformer, j *job) {
 		return
 	}
 	logits := m.Forward(b.in, b.spec, false)
+	// The spec aliases the packer's buffers; the forward is done with them,
+	// so the packer can serve the next batch.
+	s.packers.Put(b.packer)
 	infer := time.Since(start)
 	for i, r := range j.reqs {
 		probs := softmax(logits.Row(b.targets[i]))

@@ -1,0 +1,89 @@
+package sparse
+
+// Packer assembles a block-diagonal packed Pattern from per-segment
+// patterns: segment s occupies the contiguous token range
+// [Bounds()[s], Bounds()[s+1]) and its pattern entries are shifted there
+// verbatim, so token i of the packed sequence attends token j iff both lie
+// in the same segment and that segment's own pattern contains the local
+// pair. This is the sequence-packing primitive shared by graph-level
+// training (many short graphs coalesced into one attention call) and the
+// serving scheduler (one flush of ego-context segments becomes one
+// forward); both rely on the block-diagonal mask for their bitwise
+// per-segment independence guarantees.
+//
+// Because every per-segment pattern is already valid CSR (rows sorted
+// ascending) and segments occupy disjoint ascending column ranges, packing
+// is a pure concatenation — no re-sort, no dedup. All buffers grow once
+// and are reused across Reset cycles, so the steady-state Append/Pattern
+// path allocates nothing (pinned by BenchmarkPackerAppend, like the
+// EgoCache hit path).
+//
+// A Packer is not safe for concurrent use; the serving engine draws one
+// per in-flight batch from a sync.Pool.
+type Packer struct {
+	rowPtr  []int32
+	colIdx  []int32
+	buckets []int32
+	bounds  []int32
+	pat     Pattern // reused header returned by Pattern()
+}
+
+// NewPacker returns an empty packer.
+func NewPacker() *Packer {
+	p := &Packer{}
+	p.Reset()
+	return p
+}
+
+// Reset clears the packer for a new batch, keeping capacity.
+func (p *Packer) Reset() {
+	p.rowPtr = append(p.rowPtr[:0], 0)
+	p.colIdx = p.colIdx[:0]
+	p.buckets = p.buckets[:0]
+	p.bounds = append(p.bounds[:0], 0)
+}
+
+// Append adds one segment. buckets, when non-nil, are the segment's
+// per-entry bias buckets (len sp.NNZ()); they are concatenated verbatim —
+// NOT recomputed over the packed pattern, which matters for segments whose
+// token 0 is a per-graph global token: recomputing on the packed sequence
+// would misclassify every block start except the first.
+func (p *Packer) Append(sp *Pattern, buckets []int32) {
+	base := p.bounds[len(p.bounds)-1]
+	nnz := int32(len(p.colIdx))
+	for i := 0; i < sp.S; i++ {
+		for _, j := range sp.Row(i) {
+			p.colIdx = append(p.colIdx, j+base)
+		}
+		p.rowPtr = append(p.rowPtr, nnz+sp.RowPtr[i+1])
+	}
+	if buckets != nil {
+		p.buckets = append(p.buckets, buckets...)
+	}
+	p.bounds = append(p.bounds, base+int32(sp.S))
+}
+
+// Segments reports how many segments have been appended since Reset.
+func (p *Packer) Segments() int { return len(p.bounds) - 1 }
+
+// Bounds returns the segment boundaries over packed token positions
+// (len Segments()+1, starting at 0). The slice aliases packer storage and
+// is valid until the next Reset.
+func (p *Packer) Bounds() []int32 { return p.bounds }
+
+// Pattern returns the packed block-diagonal pattern. The returned value
+// aliases packer storage: it is valid until the next Reset and must not be
+// retained past the forward pass it was built for.
+func (p *Packer) Pattern() *Pattern {
+	p.pat = Pattern{S: int(p.bounds[len(p.bounds)-1]), RowPtr: p.rowPtr, ColIdx: p.colIdx}
+	return &p.pat
+}
+
+// Buckets returns the concatenated per-entry bias buckets (nil when no
+// segment supplied any). Aliases packer storage, valid until Reset.
+func (p *Packer) Buckets() []int32 {
+	if len(p.buckets) == 0 {
+		return nil
+	}
+	return p.buckets
+}

@@ -1,0 +1,185 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"torchgt/internal/graph"
+)
+
+// randPatterns builds a set of small per-graph patterns (self-loops added by
+// FromGraph, a global token on request) of varied sizes.
+func randPatterns(n int, global bool, seed int64) []*Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Pattern, n)
+	for i := range out {
+		s := 3 + rng.Intn(12)
+		p := FromGraph(graph.BarabasiAlbert(s, 2, rng))
+		if global {
+			p = p.WithGlobalToken()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// TestPackerBlockDiagonal pins the packing contract: the packed pattern
+// contains pair (i, j) exactly when i and j fall in the same segment and
+// that segment's own pattern contains the local pair — no cross-segment
+// leakage in either direction.
+func TestPackerBlockDiagonal(t *testing.T) {
+	pats := randPatterns(5, true, 11)
+	p := NewPacker()
+	for _, sp := range pats {
+		p.Append(sp, nil)
+	}
+	packed := p.Pattern()
+	if err := packed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bounds := p.Bounds()
+	if p.Segments() != len(pats) || len(bounds) != len(pats)+1 {
+		t.Fatalf("segments=%d bounds=%d", p.Segments(), len(bounds))
+	}
+	total := 0
+	for _, sp := range pats {
+		total += sp.S
+	}
+	if packed.S != total || int(bounds[len(bounds)-1]) != total {
+		t.Fatalf("packed S=%d, want %d", packed.S, total)
+	}
+	segOf := func(x int32) int {
+		for s := 0; s+1 < len(bounds); s++ {
+			if x >= bounds[s] && x < bounds[s+1] {
+				return s
+			}
+		}
+		t.Fatalf("position %d outside bounds", x)
+		return -1
+	}
+	for i := 0; i < packed.S; i++ {
+		si := segOf(int32(i))
+		for j := 0; j < packed.S; j++ {
+			sj := segOf(int32(j))
+			want := si == sj && pats[si].Has(int32(i)-bounds[si], int32(j)-bounds[si])
+			if got := packed.Has(int32(i), int32(j)); got != want {
+				t.Fatalf("packed.Has(%d,%d)=%v, want %v (segments %d/%d)", i, j, got, want, si, sj)
+			}
+		}
+	}
+}
+
+// TestPackerBuckets pins verbatim bucket concatenation: the packed bucket of
+// every entry equals the owning segment's own bucket for the local entry —
+// including the per-graph global-token buckets, which a recomputation over
+// the packed pattern would misclassify for every block but the first.
+func TestPackerBuckets(t *testing.T) {
+	pats := randPatterns(4, true, 13)
+	p := NewPacker()
+	var want []int32
+	for _, sp := range pats {
+		bk := sp.LocalEdgeBuckets(true, 7)
+		want = append(want, bk...)
+		p.Append(sp, bk)
+	}
+	got := p.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("%d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if int(p.Pattern().NNZ()) != len(want) {
+		t.Fatalf("nnz %d != %d buckets", p.Pattern().NNZ(), len(want))
+	}
+	// Nil buckets throughout → nil result.
+	p.Reset()
+	for _, sp := range pats {
+		p.Append(sp, nil)
+	}
+	if p.Buckets() != nil {
+		t.Fatal("expected nil buckets when no segment supplied any")
+	}
+}
+
+// TestPackerReuse pins that Reset recycles buffers without leaking previous
+// batches: packing A, then packing B, yields exactly B's pattern.
+func TestPackerReuse(t *testing.T) {
+	a := randPatterns(6, false, 17)
+	bb := randPatterns(3, false, 19)
+	p := NewPacker()
+	for _, sp := range a {
+		p.Append(sp, nil)
+	}
+	_ = p.Pattern()
+	p.Reset()
+	for _, sp := range bb {
+		p.Append(sp, nil)
+	}
+	packed := p.Pattern()
+	ref := NewPacker()
+	for _, sp := range bb {
+		ref.Append(sp, nil)
+	}
+	refPacked := ref.Pattern()
+	if packed.S != refPacked.S || packed.NNZ() != refPacked.NNZ() {
+		t.Fatalf("reused packer: S=%d nnz=%d, want S=%d nnz=%d",
+			packed.S, packed.NNZ(), refPacked.S, refPacked.NNZ())
+	}
+	for i := range refPacked.RowPtr {
+		if packed.RowPtr[i] != refPacked.RowPtr[i] {
+			t.Fatalf("rowptr[%d] differs after reuse", i)
+		}
+	}
+	for i := range refPacked.ColIdx {
+		if packed.ColIdx[i] != refPacked.ColIdx[i] {
+			t.Fatalf("colidx[%d] differs after reuse", i)
+		}
+	}
+}
+
+// TestPackerSteadyStateAllocFree pins the serve hit-path contract: once the
+// buffers have grown to batch size, Reset+Append+Pattern allocates nothing
+// (the sync.Pool in the serving engine relies on this, like EgoCache).
+func TestPackerSteadyStateAllocFree(t *testing.T) {
+	pats := randPatterns(8, false, 23)
+	p := NewPacker()
+	pack := func() {
+		p.Reset()
+		for _, sp := range pats {
+			p.Append(sp, sp.ColIdx) // any []int32 of nnz length works as buckets
+		}
+		_ = p.Pattern()
+		_ = p.Buckets()
+		_ = p.Bounds()
+	}
+	pack() // grow once
+	if allocs := testing.AllocsPerRun(20, pack); allocs != 0 {
+		t.Fatalf("steady-state packing allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkPackerAppend is the CI allocs/op gate for the packer (ceiling 0
+// in ci/bench-baseline.json): one serve-sized flush of segment appends plus
+// the pattern/bucket/bounds reads, on warm buffers.
+func BenchmarkPackerAppend(b *testing.B) {
+	pats := randPatterns(16, false, 29)
+	buckets := make([][]int32, len(pats))
+	for i, sp := range pats {
+		buckets[i] = sp.LocalEdgeBuckets(false, 0)
+	}
+	p := NewPacker()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		for k, sp := range pats {
+			p.Append(sp, buckets[k])
+		}
+		_ = p.Pattern()
+		_ = p.Buckets()
+		_ = p.Bounds()
+	}
+}

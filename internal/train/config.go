@@ -38,6 +38,12 @@ type Config struct {
 	Warmup int
 	// BatchSize is the graph-level optimiser batch (default 16; graph task).
 	BatchSize int
+	// Pack coalesces contiguous sparse-attention graphs of a graph-level
+	// batch into single block-diagonal packed forwards (graph task),
+	// reducing per-step attention-call count. Per-step gradients are
+	// bitwise identical to the unpacked loop — packing is purely a
+	// throughput knob. Off by default; ignored under SeqParallel.
+	Pack bool
 	// SeqLen is the sampled sequence length (seq task; 0 or larger than the
 	// graph clamps to the full node count at trainer construction).
 	SeqLen int

@@ -38,6 +38,9 @@ type GraphTrainer struct {
 	rngSrc *nn.CountedSource // its checkpointable source
 	order  []int             // current epoch's order over TrainIdx
 	loop   *Loop
+
+	packer   *sparse.Packer // lazily built, reused across packed steps
+	forwards int64          // model forwards issued by Step (packing telemetry)
 }
 
 // NewGraphTrainer precomputes patterns, SPD tables and interleave policies
@@ -147,23 +150,123 @@ func (tr *GraphTrainer) Steps(int) int {
 // Step implements Task: forward/backward over one batch of graphs,
 // accumulating gradients for the Loop's optimiser application. globalStep is
 // the dual-interleave clock.
+//
+// With Cfg.Pack set, contiguous runs of sparse-attention graphs in the
+// (shuffled) batch are coalesced into one block-diagonal packed forward each
+// — same graphs, same order, bitwise-identical gradients and RNG streams,
+// fewer attention calls. Dense-overlay steps and mixed-precision boundaries
+// fall back to the per-graph path, as does sequence-parallel execution
+// (whose plan shards one sequence, not a packed batch).
 func (tr *GraphTrainer) Step(_, s, globalStep int) {
 	lo := s * tr.Cfg.BatchSize
 	hi := lo + tr.Cfg.BatchSize
 	if hi > len(tr.order) {
 		hi = len(tr.order)
 	}
-	for _, oi := range tr.order[lo:hi] {
-		gi := tr.DS.TrainIdx[oi]
+	batch := tr.order[lo:hi]
+	if !tr.Cfg.Pack || tr.Cfg.SeqParallel > 1 {
+		for _, oi := range batch {
+			tr.stepOne(tr.DS.TrainIdx[oi], globalStep)
+		}
+		return
+	}
+	for i := 0; i < len(batch); {
+		gi := tr.DS.TrainIdx[batch[i]]
 		spec := tr.specFor(gi, globalStep)
-		logits := tr.Model.Forward(tr.entries[gi].inputs, spec, true)
-		l, dl := tr.lossFor(gi, logits)
-		tr.Model.Backward(dl)
-		tr.epPairs += tr.Model.Pairs()
+		if spec.Mode != model.ModeSparse {
+			tr.stepOne(gi, globalStep)
+			i++
+			continue
+		}
+		run := []int{gi}
+		j := i + 1
+		for ; j < len(batch); j++ {
+			gj := tr.DS.TrainIdx[batch[j]]
+			if sj := tr.specFor(gj, globalStep); sj.Mode != model.ModeSparse || sj.BF16 != spec.BF16 {
+				break
+			} else {
+				run = append(run, gj)
+			}
+		}
+		if len(run) == 1 {
+			tr.stepOne(gi, globalStep)
+		} else {
+			tr.stepPacked(run, spec.BF16)
+		}
+		i = j
+	}
+}
+
+// stepOne is the per-graph unit of Step: forward, loss, backward, telemetry.
+func (tr *GraphTrainer) stepOne(gi, globalStep int) {
+	spec := tr.specFor(gi, globalStep)
+	logits := tr.Model.Forward(tr.entries[gi].inputs, spec, true)
+	tr.forwards++
+	l, dl := tr.lossFor(gi, logits)
+	tr.Model.Backward(dl)
+	tr.epPairs += tr.Model.Pairs()
+	tr.epLoss += l
+	tr.epTerms++
+}
+
+// stepPacked runs one block-diagonal packed forward/backward over a run of
+// sparse-mode graphs. Features, degree buckets and PEs are concatenated in
+// run order; the packer shifts each graph's (global-token-augmented) pattern
+// onto its diagonal block, concatenating edge buckets verbatim; SegRows
+// hands the model the feature-row bounds so every row reduction — and the
+// per-graph readout/global-token handling — accumulates in exactly the
+// unpacked loop's order.
+func (tr *GraphTrainer) stepPacked(gis []int, bf16 bool) {
+	if tr.packer == nil {
+		tr.packer = sparse.NewPacker()
+	}
+	p := tr.packer
+	p.Reset()
+	b := len(gis)
+	segRows := make([]int32, b+1)
+	for s, gi := range gis {
+		segRows[s+1] = segRows[s] + int32(tr.entries[gi].inputs.X.Rows)
+	}
+	feat := int(segRows[b])
+	first := tr.entries[gis[0]].inputs
+	in := &model.Inputs{X: tensor.New(feat, first.X.Cols), SegRows: segRows}
+	if first.DegInIdx != nil {
+		in.DegInIdx = make([]int32, 0, feat)
+		in.DegOutIdx = make([]int32, 0, feat)
+	}
+	if first.LapPE != nil {
+		in.LapPE = tensor.New(feat, first.LapPE.Cols)
+	}
+	for s, gi := range gis {
+		e := tr.entries[gi]
+		lo := int(segRows[s])
+		copy(in.X.Data[lo*in.X.Cols:], e.inputs.X.Data)
+		if in.DegInIdx != nil {
+			in.DegInIdx = append(in.DegInIdx, e.inputs.DegInIdx...)
+			in.DegOutIdx = append(in.DegOutIdx, e.inputs.DegOutIdx...)
+		}
+		if in.LapPE != nil {
+			copy(in.LapPE.Data[lo*in.LapPE.Cols:], e.inputs.LapPE.Data)
+		}
+		p.Append(e.pattern, e.edgeBuckets)
+	}
+	spec := &model.AttentionSpec{Mode: model.ModeSparse, Pattern: p.Pattern(), EdgeBuckets: p.Buckets(), BF16: bf16}
+	logits := tr.Model.Forward(in, spec, true) // B×OutDim, one readout row per graph
+	tr.forwards++
+	dL := tensor.New(b, logits.Cols)
+	for s, gi := range gis {
+		l, dl := tr.lossFor(gi, logits.SliceRows(s, s+1))
+		copy(dL.Row(s), dl.Row(0))
 		tr.epLoss += l
 		tr.epTerms++
 	}
+	tr.Model.Backward(dL)
+	tr.epPairs += tr.Model.Pairs()
 }
+
+// Forwards reports how many model forwards Step has issued so far — with
+// packing on, fewer than the number of graphs trained.
+func (tr *GraphTrainer) Forwards() int64 { return tr.forwards }
 
 // EpochPoint implements Task. For regression the Curve's Loss is the train
 // MSE; use EvalMAE for the headline metric.

@@ -130,6 +130,13 @@ func WithSeqParallel(p int) SessionOption {
 // WithBatchSize sets the graph-level optimiser batch (default 16).
 func WithBatchSize(n int) SessionOption { return func(s *sessionSettings) { s.cfg.BatchSize = n } }
 
+// WithPack coalesces each graph-level batch's contiguous runs of
+// sparse-attention graphs into single block-diagonal packed forwards,
+// reducing the attention-call count. Gradients stay bitwise identical to
+// the unpacked loop — packing is purely a throughput knob. Ignored under
+// sequence parallelism.
+func WithPack() SessionOption { return func(s *sessionSettings) { s.cfg.Pack = true } }
+
 // WithSeqLen sets the sampled sequence length for NodeSeqTask.
 func WithSeqLen(n int) SessionOption { return func(s *sessionSettings) { s.cfg.SeqLen = n } }
 
