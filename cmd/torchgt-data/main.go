@@ -11,6 +11,14 @@
 //	torchgt-data inspect -data "synth://products-sim?subsample=2048"
 //	torchgt-data inspect -data file://real.tgds
 //	torchgt-data split -in file://real.tgds -train 0.7 -val 0.1 -seed 3 -o resplit.tgds
+//	torchgt-data shard -in file://real.tgds -shards 8 -o real-shards
+//	torchgt-data inspect -data shard://real-shards
+//	torchgt-data merge -in shard://real-shards -o merged.tgds
+//
+// shard writes a dataset as an out-of-core sharded directory (manifest +
+// per-shard segment files) that opens disk-resident through shard:// specs;
+// merge materialises a sharded directory back into one monolithic tGDS
+// container, bitwise-identical to the dataset the shards were written from.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"torchgt"
 )
@@ -37,6 +46,8 @@ commands:
   convert   open any dataset spec and write a tGDS container
   inspect   open any dataset spec and print a summary
   split     re-draw a dataset's train/val/test split and write a tGDS container
+  shard     write a node dataset as an out-of-core sharded directory
+  merge     materialise a sharded directory back into one tGDS container
 `
 
 func run(args []string, out io.Writer) error {
@@ -56,6 +67,10 @@ func run(args []string, out io.Writer) error {
 		return runInspect(rest, out)
 	case "split":
 		return runSplit(rest, out)
+	case "shard":
+		return runShard(rest, out)
+	case "merge":
+		return runMerge(rest, out)
 	case "help", "-h", "--help":
 		fmt.Fprint(out, usage)
 		return nil
@@ -121,11 +136,105 @@ func runInspect(args []string, out io.Writer) error {
 	if *spec == "" {
 		return fmt.Errorf("inspect: -data is required")
 	}
+	sp, err := torchgt.ParseDatasetSpec(*spec)
+	if err != nil {
+		return err
+	}
+	if sp.Scheme == "shard" {
+		return inspectShards(out, sp.Name)
+	}
 	d, err := torchgt.OpenDataset(*spec)
 	if err != nil {
 		return err
 	}
 	describe(out, d)
+	return nil
+}
+
+// inspectShards prints a sharded directory's manifest: header, shard table
+// (row ranges, edges, file sizes) and each shard's segment layout — all
+// without reading any payload bytes.
+func inspectShards(out io.Writer, dir string) error {
+	man, err := torchgt.LoadShardManifest(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sharded dataset %s (manifest v1): %d nodes, %d edges, %d classes, feat dim %d\n",
+		man.Name, man.NumNodes, man.NumEdges, man.Classes, man.FeatDim)
+	fmt.Fprintf(out, "%d shards", len(man.Shards))
+	if man.HasBlocks {
+		fmt.Fprint(out, ", planted communities")
+	}
+	if man.HasReorder {
+		fmt.Fprint(out, ", reorder map (external IDs differ from storage rows)")
+	}
+	fmt.Fprintln(out)
+	for i, s := range man.Shards {
+		fmt.Fprintf(out, "shard %04d: rows [%d, %d), %d edges, %d bytes\n",
+			i, s.RowStart, s.RowStart+s.RowCount, s.EdgeCount, s.FileSize)
+		for _, g := range s.Segments {
+			fmt.Fprintf(out, "  %-8s offset %8d  %10d bytes\n", g.KindName(), g.Offset, g.Length)
+		}
+	}
+	return nil
+}
+
+func runShard(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shard", flag.ContinueOnError)
+	in := fs.String("in", "", "input dataset spec (must be node-level)")
+	shards := fs.Int("shards", 4, "shard count (boundaries balance edge counts)")
+	outDir := fs.String("o", "", "output directory for the shards + manifest")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *outDir == "" {
+		return fmt.Errorf("shard: -in and -o are required")
+	}
+	d, err := torchgt.OpenDataset(*in)
+	if err != nil {
+		return err
+	}
+	if d, err = d.Materialize(); err != nil {
+		return err
+	}
+	if d.Node == nil {
+		return fmt.Errorf("shard: %s is a graph-level dataset; sharding applies to node datasets", *in)
+	}
+	man, err := torchgt.ShardNodeDataset(*outDir, d.Node, *shards)
+	if err != nil {
+		return err
+	}
+	describe(out, d)
+	fmt.Fprintf(out, "written %d shards to %s (open with -data shard://%s)\n", len(man.Shards), *outDir, *outDir)
+	return nil
+}
+
+func runMerge(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	in := fs.String("in", "", "input sharded directory (or shard:// spec)")
+	outPath := fs.String("o", "", "output tGDS path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *outPath == "" {
+		return fmt.Errorf("merge: -in and -o are required")
+	}
+	spec := *in
+	if !strings.Contains(spec, "://") {
+		spec = "shard://" + spec
+	}
+	d, err := torchgt.OpenDataset(spec)
+	if err != nil {
+		return err
+	}
+	if d, err = d.Materialize(); err != nil {
+		return err
+	}
+	if err := torchgt.SaveDataset(*outPath, d); err != nil {
+		return err
+	}
+	describe(out, d)
+	fmt.Fprintf(out, "merged to %s (open with -data file://%s)\n", *outPath, *outPath)
 	return nil
 }
 
@@ -190,6 +299,14 @@ func describe(out io.Writer, d *torchgt.Dataset) {
 			float64(nodesTot)/float64(len(gd.Graphs)), float64(edgesTot)/float64(len(gd.Graphs)))
 		fmt.Fprintf(out, "splits: train %d / val %d / test %d\n",
 			len(gd.TrainIdx), len(gd.ValIdx), len(gd.TestIdx))
+		return
+	}
+	if d.Node == nil {
+		// Disk-resident stream: summarise through the access interface
+		// without materialising (split counts would read every row).
+		src := d.Source()
+		fmt.Fprintf(out, "dataset %s (disk-resident): %d nodes, %d edges, %d classes, feat dim %d\n",
+			src.DatasetName(), src.NumNodes(), src.NumEdges(), src.Classes(), src.FeatDim())
 		return
 	}
 	ds := d.Node

@@ -110,7 +110,8 @@ func main() {
 		}
 		fmt.Printf("compute backend: %s\n", torchgt.ActiveBackend().Name())
 	}
-	var ds *torchgt.NodeDataset
+	var ds *torchgt.NodeDataset // in-memory dataset (nil for shard:// streams)
+	var src torchgt.NodeSource  // the access interface every serving path reads through
 	spec := withReorder(*dataSpec, *reorderK)
 	if spec == "" && *reorderK > 0 {
 		// Route the legacy -dataset path through the spec machinery so the
@@ -126,12 +127,20 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if d.Node == nil {
+		src = d.Source()
+		if src == nil {
 			fail(fmt.Errorf("-data %s is a graph-level dataset; serving needs a node dataset", spec))
 		}
-		ds = d.Node
-	} else if ds, err = torchgt.LoadNodeDataset(*dataset, *nodes, *seed); err != nil {
-		fail(err)
+		ds = d.Node // nil for disk-resident shard:// datasets
+		if ds == nil {
+			fmt.Printf("dataset %s is disk-resident (%d nodes); serving out-of-core\n",
+				src.DatasetName(), src.NumNodes())
+		}
+	} else {
+		if ds, err = torchgt.LoadNodeDataset(*dataset, *nodes, *seed); err != nil {
+			fail(err)
+		}
+		src = (&torchgt.Dataset{Node: ds}).Source()
 	}
 
 	var snap *torchgt.Snapshot
@@ -145,6 +154,9 @@ func main() {
 		}
 		fmt.Printf("loaded snapshot %s (%s, %d params%s)\n", *snapshotPath, snap.Config().Name, snap.NumParams(), desc)
 	} else {
+		if ds == nil {
+			fail(fmt.Errorf("-data %s is disk-resident; the quick train needs the arrays in memory — pass -snapshot, or materialize once with torchgt-data merge", spec))
+		}
 		tm, err := torchgt.ParseMethod(*method)
 		if err != nil {
 			fail(err)
@@ -186,11 +198,11 @@ func main() {
 	}
 
 	if *httpAddr != "" {
-		serveHTTP(*httpAddr, modelName, *snapshotPath, ds, snap, opts, *maxPending, *cacheCap)
+		serveHTTP(*httpAddr, modelName, *snapshotPath, src, snap, opts, *maxPending, *cacheCap)
 		return
 	}
 
-	srv, err := torchgt.NewServer(snap, ds, opts)
+	srv, err := torchgt.NewServerSource(snap, src, opts)
 	if err != nil {
 		fail(err)
 	}
@@ -205,7 +217,7 @@ func main() {
 	}
 	targets := make([]int32, 256)
 	for i := range targets {
-		targets[i] = int32((i * 31) % ds.G.N)
+		targets[i] = int32((i * 31) % src.NumNodes())
 	}
 	warm := min(o.MaxBatch, len(targets))
 	srv.PredictBatch(targets[:warm]) // warm up pools before measuring
@@ -222,6 +234,10 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("\ntotals: %d requests, %d batches (%.1f avg), %d full / %d deadline flushes\n",
 		st.Requests, st.Batches, st.AvgBatchSize, st.FlushFull, st.FlushDeadline)
+	if io, ok := srv.SourceIOStats(); ok {
+		fmt.Printf("shard I/O: %d cache hits, %d misses, %d evictions, %.1f MB read\n",
+			io.Hits, io.Misses, io.Evictions, float64(io.BytesRead)/(1<<20))
+	}
 }
 
 // parseModelSpec splits "name" or "name@version".
@@ -296,9 +312,9 @@ func postJSON(client *http.Client, url string, body io.Reader, out any) error {
 // swaps to it — the classic config-reload signal, applied to weights.
 // Shutdown drains in-flight HTTP requests via http.Server.Shutdown, then
 // closes the registry (draining every model's replica pool).
-func serveHTTP(addr, model, snapshotPath string, ds *torchgt.NodeDataset, snap *torchgt.Snapshot, opts torchgt.ServeOptions, maxPending, cacheCap int) {
+func serveHTTP(addr, model, snapshotPath string, src torchgt.NodeSource, snap *torchgt.Snapshot, opts torchgt.ServeOptions, maxPending, cacheCap int) {
 	reg := torchgt.NewServeRegistry(cacheCap)
-	if err := reg.Register(model, ds, torchgt.ServeModelOptions{Serve: opts, MaxPending: maxPending}); err != nil {
+	if err := reg.RegisterSource(model, src, torchgt.ServeModelOptions{Serve: opts, MaxPending: maxPending}); err != nil {
 		fail(err)
 	}
 	ver, err := reg.Publish(model, snap)

@@ -78,6 +78,8 @@ func run(ctx context.Context, args []string) error {
 	lr := fs.Float64("lr", 2e-3, "learning rate")
 	seed := fs.Int64("seed", 1, "random seed")
 	seqLen := fs.Int("seqlen", 0, "mini-batched sequence length (node-level; 0 = full-graph sequence)")
+	ego := fs.Bool("ego", false, "train with ego-graph sampling through the NodeSource interface; shard:// specs stay disk-resident (out-of-core)")
+	egoWorkers := fs.Int("ego-workers", 0, "sampling-pipeline workers for -ego (0 = synchronous; any count is bitwise-identical)")
 	reorderK := fs.Int("reorder", 0, "cluster-reorder the node dataset into K partition-contiguous blocks (appends reorder=cluster&reorderk=K to the spec; 0 = off)")
 	pack := fs.Bool("pack", false, "pack contiguous sparse-mode graphs of each graph-level batch into one block-diagonal forward (bitwise-identical gradients)")
 	seqPar := fs.Int("seqpar", 1, "sequence-parallel ranks (simulated; bitwise-identical to serial, heads must divide)")
@@ -96,6 +98,9 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
+	if *ego && (*resume != "" || *rendezvous != "") {
+		return fmt.Errorf("-ego does not compose with -resume or -rendezvous")
+	}
 	// Launcher mode: -rendezvous without -rank forks the whole world as
 	// local worker processes and waits for them.
 	if *rendezvous != "" && *rank < 0 {
@@ -123,6 +128,21 @@ func run(ctx context.Context, args []string) error {
 		default:
 			return torchgt.GraphormerSlim(in, out, *seed)
 		}
+	}
+
+	// Ego-sampled training reads through the NodeSource interface and needs
+	// none of the session machinery; it is the path that keeps shard://
+	// datasets disk-resident end to end.
+	if *ego {
+		spec := withReorder(*dataSpec, *reorderK)
+		if spec == "" {
+			spec = fmt.Sprintf("synth://%s?seed=%d", *dataset, *seed)
+			if *nodes > 0 {
+				spec = fmt.Sprintf("synth://%s?nodes=%d&seed=%d", *dataset, *nodes, *seed)
+			}
+			spec = withReorder(spec, *reorderK)
+		}
+		return runEgo(spec, cfgFor, *epochs, *lr, *seed, *seqLen, *egoWorkers)
 	}
 	// When resuming, flags left at their defaults must not override the
 	// checkpoint's configuration — only explicitly-given flags do.
@@ -229,6 +249,35 @@ func run(ctx context.Context, args []string) error {
 		res.FinalTestAcc*100, res.PreprocessTime.Seconds(), res.AvgEpochTime.Seconds())
 	if cb := sess.CommBytes(); cb > 0 {
 		fmt.Printf("sequence-parallel collective traffic: %.1f MB\n", float64(cb)/(1<<20))
+	}
+	return nil
+}
+
+// runEgo trains with ego-graph sampling over the source the spec resolves
+// to; shard:// specs never materialise — steps read sampled contexts through
+// the view's block cache, whose counters print at the end.
+func runEgo(spec string, cfgFor func(in, out int) torchgt.ModelConfig, epochs int, lr float64, seed int64, seqLen, workers int) error {
+	src, err := torchgt.OpenNodeSource(spec)
+	if err != nil {
+		return err
+	}
+	kind := "in-memory"
+	if _, ok := torchgt.DatasetIOStatsOf(src); ok {
+		kind = "disk-resident"
+	}
+	fmt.Printf("ego training on %s (%s, %d nodes, %d workers)\n",
+		src.DatasetName(), kind, src.NumNodes(), workers)
+	res, err := torchgt.TrainNodeEgoSource(cfgFor(src.FeatDim(), src.Classes()), src,
+		torchgt.TrainOptions{Epochs: epochs, LR: lr, Seed: seed, SeqLen: seqLen}, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final test accuracy: %.2f%%  (avg epoch %.3fs)\n",
+		res.FinalTestAcc*100, res.AvgEpochTime.Seconds())
+	if st, ok := torchgt.DatasetIOStatsOf(src); ok {
+		fmt.Printf("shard I/O: %d cache hits, %d misses, %d evictions, %.1f MB read, %.1f/%.1f MB cached\n",
+			st.Hits, st.Misses, st.Evictions, float64(st.BytesRead)/(1<<20),
+			float64(st.CachedBytes)/(1<<20), float64(st.BudgetBytes)/(1<<20))
 	}
 	return nil
 }

@@ -167,3 +167,43 @@ func TestTrainDistributedWorkers(t *testing.T) {
 		t.Fatal("launcher mode with -world 1 must error")
 	}
 }
+
+// TestTrainEgoOutOfCore drives -ego through the CLI over both backings: an
+// in-memory synthetic spec and the same dataset sharded to disk behind a
+// tight cache budget. (Accuracy equality across backings is pinned by the
+// library tests and ci/shard-smoke.sh; this exercises the flag plumbing.)
+func TestTrainEgoOutOfCore(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := torchgt.LoadNodeDataset("arxiv-sim", 160, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := filepath.Join(dir, "shards")
+	if _, err := torchgt.ShardNodeDataset(shards, ds, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	err = run(context.Background(), []string{
+		"-ego", "-dataset", "arxiv-sim", "-nodes", "160", "-seed", "9",
+		"-epochs", "1", "-seqlen", "8",
+	})
+	if err != nil {
+		t.Fatalf("-ego over synth spec: %v", err)
+	}
+	err = run(context.Background(), []string{
+		"-ego", "-ego-workers", "3",
+		"-data", "shard://" + shards + "?cache=16KiB&block=1KiB",
+		"-epochs", "1", "-seqlen", "8", "-seed", "9",
+	})
+	if err != nil {
+		t.Fatalf("-ego over shard spec: %v", err)
+	}
+
+	// -ego refuses the flags it cannot compose with.
+	err = run(context.Background(), []string{
+		"-ego", "-resume", filepath.Join(dir, "x.ckpt"), "-epochs", "1",
+	})
+	if err == nil {
+		t.Fatal("-ego -resume must error")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"torchgt/internal/data"
+	"torchgt/internal/graph"
 	"torchgt/internal/train"
 )
 
@@ -35,6 +36,14 @@ type (
 	DatasetProvider = data.Provider
 	// DatasetTransform is a deterministic dataset rewrite stage.
 	DatasetTransform = data.Transform
+	// NodeSource is the access contract node-level consumers read through:
+	// CSR neighbour lookup, feature rows, labels and splits, addressed by
+	// storage row. In-memory datasets and disk-resident shard:// views both
+	// satisfy it, bitwise-identically.
+	NodeSource = graph.NodeSource
+	// DatasetIOStats snapshots an out-of-core source's block-cache and read
+	// counters (zero-valued for in-memory sources).
+	DatasetIOStats = graph.IOStats
 )
 
 // Dataset kinds.
@@ -54,6 +63,23 @@ func OpenDataset(spec string) (*Dataset, error) { return data.OpenString(spec) }
 
 // OpenDatasetSpec is OpenDataset over an already-parsed spec.
 func OpenDatasetSpec(sp DatasetSpec) (*Dataset, error) { return data.Open(sp) }
+
+// OpenNodeSource resolves a spec that must be node-level and returns its
+// access interface without materialising it: shard:// datasets stay
+// disk-resident (reads go through the bounded block cache), in-memory ones
+// are wrapped. The trainer and server paths that consume a NodeSource work
+// identically — and bitwise-equally — over either backing.
+func OpenNodeSource(spec string) (NodeSource, error) { return data.OpenNodeSource(spec) }
+
+// DatasetIOStatsOf reports the disk I/O counters of an out-of-core source
+// (shard block-cache hits/misses/evictions, bytes read). ok is false for
+// in-memory sources, which do no I/O.
+func DatasetIOStatsOf(src NodeSource) (st DatasetIOStats, ok bool) {
+	if io, isIO := src.(graph.IOStatsSource); isIO {
+		return io.IOStats(), true
+	}
+	return DatasetIOStats{}, false
+}
 
 // RegisterDatasetProvider installs a provider for a new spec scheme.
 // Built-in schemes (synth, file, edgelist, jsonl) cannot be shadowed.
@@ -106,12 +132,21 @@ func ApplyTransforms(d *Dataset, ts ...DatasetTransform) (*Dataset, error) {
 
 // taskFor wraps an opened dataset in the TaskSpec matching kind, recording
 // the canonical spec string so Sessions persist it into checkpoints.
+// Streamed (shard://) datasets are materialised here: the full-sequence
+// session trainers range over whole arrays, so a disk-resident graph has to
+// load once up front — use TrainNodeEgoSource for training that stays
+// out-of-core.
 func taskFor(kind string, d *Dataset, spec string) (TaskSpec, error) {
 	sp, err := data.ParseSpec(spec)
 	if err != nil {
 		return TaskSpec{}, err
 	}
 	canonical := sp.String()
+	if d.Stream != nil {
+		if d, err = d.Materialize(); err != nil {
+			return TaskSpec{}, fmt.Errorf("torchgt: materializing %s for full-sequence training: %w", canonical, err)
+		}
+	}
 	switch kind {
 	case train.TaskNode, train.TaskSeq:
 		if d.Node == nil {
@@ -137,7 +172,7 @@ func TaskFromSpec(spec string) (TaskSpec, error) {
 	if err != nil {
 		return TaskSpec{}, err
 	}
-	if d.Node != nil {
+	if d.Kind() == DatasetKindNode {
 		return taskFor(train.TaskNode, d, spec)
 	}
 	return taskFor(train.TaskGraph, d, spec)

@@ -1,0 +1,55 @@
+package data
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"torchgt/internal/graph"
+)
+
+// FuzzReadDataset: arbitrary bytes must never panic the tGDS container
+// parser (header, sections, and the v2 reorder-permutation table); anything
+// it accepts must survive a write/read round-trip.
+func FuzzReadDataset(f *testing.F) {
+	ds, err := graph.LoadNodeScaled("arxiv-sim", 48, 3)
+	if err != nil {
+		f.Fatalf("LoadNodeScaled: %v", err)
+	}
+	// Seed one plain and one permutation-carrying container so the fuzzer
+	// starts from both header variants.
+	var plain bytes.Buffer
+	if err := WriteDataset(&plain, &Dataset{Node: ds}); err != nil {
+		f.Fatalf("WriteDataset: %v", err)
+	}
+	perm := *ds
+	perm.Reorder = make([]int32, ds.G.N)
+	for i, p := range rand.New(rand.NewSource(9)).Perm(ds.G.N) {
+		perm.Reorder[i] = int32(p)
+	}
+	var reordered bytes.Buffer
+	if err := WriteDataset(&reordered, &Dataset{Node: &perm}); err != nil {
+		f.Fatalf("WriteDataset(reorder): %v", err)
+	}
+	f.Add(plain.Bytes())
+	f.Add(reordered.Bytes())
+	f.Add(plain.Bytes()[:9])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > 1<<20 {
+			return
+		}
+		d, err := ReadDataset(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDataset(&buf, d); err != nil {
+			t.Fatalf("accepted dataset does not re-encode: %v", err)
+		}
+		if _, err := ReadDataset(&buf); err != nil {
+			t.Fatalf("re-encoded dataset does not re-decode: %v", err)
+		}
+	})
+}

@@ -173,6 +173,12 @@ func scanEdges(r io.Reader, fn func(u, v int32) error) error {
 		u, okU := parseInt32(nf[0])
 		v, okV := parseInt32(nf[1])
 		if !okU || !okV {
+			// parseInt32 fails for non-numeric fields AND for numeric ones
+			// that overflow int32. Only the former may be a header line; an
+			// overflowing ID must error, not vanish into the header skip.
+			if (!okU && numericField(nf[0])) || (!okV && numericField(nf[1])) {
+				return fmt.Errorf("line %d: node id overflows int32 in %q", lineNo, line)
+			}
 			if !sawData {
 				// header line ("src,dst"): skip once
 				sawData = true
@@ -219,6 +225,26 @@ func splitFields(line []byte, dst [][]byte) [][]byte {
 		}
 	}
 	return dst
+}
+
+// numericField reports whether b looks like a (signed) decimal integer.
+// parseInt32 fails both for non-numeric fields and for numeric ones that
+// overflow int32; callers use this to tell the two apart, so an oversized
+// node ID errors descriptively instead of being mistaken for a header word.
+func numericField(b []byte) bool {
+	i := 0
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		i = 1
+	}
+	if i == len(b) {
+		return false
+	}
+	for ; i < len(b); i++ {
+		if b[i] < '0' || b[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // parseInt32 parses a decimal integer from bytes without allocating.
@@ -282,6 +308,9 @@ func readLabels(path string, y []int32) (int32, error) {
 		node, okN := parseInt32(nf[0])
 		label, okL := parseInt32(nf[1])
 		if !okN || !okL {
+			if (!okN && numericField(nf[0])) || (!okL && numericField(nf[1])) {
+				return 0, fmt.Errorf("data: %s line %d: value overflows int32 in %q", path, lineNo, line)
+			}
 			if !sawData {
 				sawData = true
 				continue
@@ -329,6 +358,9 @@ func readFeatures(path string, n int) (*tensor.Mat, error) {
 		}
 		node, ok := parseInt32(nf[0])
 		if !ok {
+			if numericField(nf[0]) {
+				return nil, fmt.Errorf("data: %s line %d: node id overflows int32", path, lineNo)
+			}
 			if x == nil {
 				continue // header line
 			}

@@ -1,0 +1,85 @@
+package data
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// These tests pin the edgelist:// ingestion limits: inputs that exceed the
+// int32 ID space, reference nodes past the declared count, or arrive
+// truncated must fail with descriptive errors — never panic, silently wrap,
+// or be mistaken for a skippable header line.
+
+func writeTo(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEdgeListRejectsInt32Overflow(t *testing.T) {
+	dir := t.TempDir()
+	huge := "4294967296" // 2^32: numeric, but beyond int32
+	for _, tc := range []struct{ label, spec string }{
+		// Overflow on the FIRST line: the header-skip heuristic must not
+		// swallow it as a non-numeric header.
+		{"src overflows on first line", "edgelist://" + writeTo(t, dir, "a.csv", huge+",1\n0,1\n")},
+		{"dst overflows mid-file", "edgelist://" + writeTo(t, dir, "b.csv", "0,1\n1,"+huge+"\n")},
+		{"label node overflows", "edgelist://" + writeTo(t, dir, "c.csv", "0,1\n") +
+			"?labels=" + writeTo(t, dir, "cl.csv", huge+",1\n")},
+		{"label value overflows", "edgelist://" + writeTo(t, dir, "d.csv", "0,1\n") +
+			"?labels=" + writeTo(t, dir, "dl.csv", "0,"+huge+"\n")},
+		{"feature node overflows", "edgelist://" + writeTo(t, dir, "e.csv", "0,1\n") +
+			"?features=" + writeTo(t, dir, "ef.csv", huge+",1.0\n")},
+	} {
+		_, err := OpenString(tc.spec)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.label)
+			continue
+		}
+		if !strings.Contains(err.Error(), "overflows int32") {
+			t.Errorf("%s: error %q does not say the id overflows int32", tc.label, err)
+		}
+	}
+}
+
+func TestEdgeListRejectsNodesPastDeclaredCount(t *testing.T) {
+	dir := t.TempDir()
+	edges := writeTo(t, dir, "ring.csv", "0,1\n1,2\n2,0\n") // 3 nodes
+	for _, tc := range []struct{ label, spec, want string }{
+		{"label past count", "edgelist://" + edges + "?labels=" +
+			writeTo(t, dir, "l.csv", "0,1\n7,0\n"), "outside the graph"},
+		{"feature past count", "edgelist://" + edges + "?features=" +
+			writeTo(t, dir, "f.csv", "0,1.0\n9,2.0\n"), "outside the graph"},
+	} {
+		_, err := OpenString(tc.spec)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.label)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.label, err, tc.want)
+		}
+	}
+}
+
+func TestEdgeListRejectsTruncatedFeatures(t *testing.T) {
+	dir := t.TempDir()
+	edges := writeTo(t, dir, "ring.csv", "0,1\n1,2\n2,0\n")
+	for _, tc := range []struct{ label, feats string }{
+		{"empty feature file", "# only a comment\n"},
+		{"ragged rows", "0,1.0,2.0\n1,3.0\n"},
+		{"non-numeric value", "0,1.0\n1,abc\n"},
+	} {
+		p := writeTo(t, dir, fmt.Sprintf("f%d.csv", len(tc.feats)), tc.feats)
+		_, err := OpenString("edgelist://" + edges + "?features=" + p)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.label)
+		}
+	}
+}

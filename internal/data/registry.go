@@ -29,16 +29,20 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
-// Dataset is the union a provider returns: exactly one of Node and Graph is
-// non-nil.
+// Dataset is the union a provider returns: exactly one of Node, Graph and
+// Stream is non-nil. Stream is the out-of-core variant of a node dataset — a
+// disk-resident graph.NodeSource (e.g. a shard:// view) whose access paths
+// read through a bounded cache instead of materialised arrays.
 type Dataset struct {
-	Node  *graph.NodeDataset
-	Graph *graph.GraphDataset
+	Node   *graph.NodeDataset
+	Graph  *graph.GraphDataset
+	Stream graph.NodeSource
 }
 
-// Kind reports which family the dataset belongs to.
+// Kind reports which family the dataset belongs to. Streamed datasets are
+// node-level: they answer the same access paths, just from disk.
 func (d *Dataset) Kind() Kind {
-	if d.Node != nil {
+	if d.Node != nil || d.Stream != nil {
 		return KindNode
 	}
 	return KindGraph
@@ -52,7 +56,50 @@ func (d *Dataset) Name() string {
 	if d.Graph != nil {
 		return d.Graph.Name
 	}
+	if d.Stream != nil {
+		return d.Stream.DatasetName()
+	}
 	return ""
+}
+
+// Source returns the node-level access interface: the stream itself, or the
+// in-memory dataset wrapped via graph.SourceOf. Nil for graph-level
+// datasets.
+func (d *Dataset) Source() graph.NodeSource {
+	if d.Stream != nil {
+		return d.Stream
+	}
+	if d.Node != nil {
+		return graph.SourceOf(d.Node)
+	}
+	return nil
+}
+
+// Materializer is implemented by streamed sources that can reconstruct the
+// full in-memory dataset (the shard view does; the reconstruction is
+// bitwise-identical to the dataset the shards were written from).
+type Materializer interface {
+	Materialize() (*graph.NodeDataset, error)
+}
+
+// Materialize converts a streamed dataset into its in-memory form; in-memory
+// datasets pass through unchanged.
+func (d *Dataset) Materialize() (*Dataset, error) {
+	if d.Stream == nil {
+		return d, nil
+	}
+	m, ok := d.Stream.(Materializer)
+	if !ok {
+		if nd := graph.MemDataset(d.Stream); nd != nil {
+			return &Dataset{Node: nd}, nil
+		}
+		return nil, fmt.Errorf("data: streamed dataset %q cannot be materialized", d.Name())
+	}
+	nd, err := m.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Node: nd}, nil
 }
 
 // Provider materialises datasets for one spec scheme.
@@ -118,12 +165,33 @@ func Open(sp Spec) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	if d == nil || (d.Node == nil) == (d.Graph == nil) {
+	n := 0
+	if d != nil {
+		if d.Node != nil {
+			n++
+		}
+		if d.Graph != nil {
+			n++
+		}
+		if d.Stream != nil {
+			n++
+		}
+	}
+	if n != 1 {
 		return nil, fmt.Errorf("data: provider %q returned an invalid dataset for %s", sp.Scheme, sp.String())
 	}
 	ts, err := transformsFromSpec(sp)
 	if err != nil {
 		return nil, err
+	}
+	if d.Stream != nil {
+		// Transforms rewrite materialised arrays; on a disk-resident
+		// stream they would silently force a full load, so they are
+		// refused instead.
+		if len(ts) > 0 {
+			return nil, fmt.Errorf("data: spec %s: transforms are not supported on streamed datasets (shard the transformed dataset instead)", sp.String())
+		}
+		return d, nil
 	}
 	return Apply(d, ts...)
 }
@@ -137,16 +205,37 @@ func OpenString(s string) (*Dataset, error) {
 	return Open(sp)
 }
 
-// OpenNode opens a spec that must resolve to a node-level dataset.
+// OpenNode opens a spec that must resolve to a node-level dataset. Streamed
+// datasets are materialized — callers that can work out-of-core should use
+// OpenNodeSource instead.
 func OpenNode(s string) (*graph.NodeDataset, error) {
 	d, err := OpenString(s)
 	if err != nil {
 		return nil, err
 	}
-	if d.Node == nil {
+	if d.Kind() != KindNode {
 		return nil, fmt.Errorf("data: spec %q is a graph-level dataset, a node dataset is required", s)
 	}
+	d, err = d.Materialize()
+	if err != nil {
+		return nil, err
+	}
 	return d.Node, nil
+}
+
+// OpenNodeSource opens a spec that must resolve to a node-level dataset and
+// returns its access interface without materializing: streamed datasets
+// (shard://) stay disk-resident; in-memory ones are wrapped.
+func OpenNodeSource(s string) (graph.NodeSource, error) {
+	d, err := OpenString(s)
+	if err != nil {
+		return nil, err
+	}
+	src := d.Source()
+	if src == nil {
+		return nil, fmt.Errorf("data: spec %q is a graph-level dataset, a node dataset is required", s)
+	}
+	return src, nil
 }
 
 // OpenGraphLevel opens a spec that must resolve to a graph-level dataset.

@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// blockCache is the byte-budgeted LRU over fixed-size segment blocks that
+// backs the pread I/O mode. Keys are (segment id, block index) — blocks are
+// addressed within a segment, never across one, so a block boundary is
+// always 8-byte aligned with the segment payload and a 4-byte element never
+// straddles two blocks. Loaded blocks are immutable, so a caller may keep
+// decoding a block it was handed even after the LRU evicts it: eviction
+// only drops the cache's reference.
+//
+// The counters (hits/misses/evictions/bytes) are the observable side of the
+// out-of-core contract — exposed through View.IOStats into serve /metrics
+// and the CLI training stats.
+type blockCache struct {
+	budget    int64
+	blockSize int
+
+	mu    sync.Mutex
+	m     map[blockKey]*list.Element
+	lru   *list.List // front = most recent
+	bytes int64
+
+	hits, misses, evictions atomic.Int64
+}
+
+type blockKey struct {
+	seg uint32 // shard index × maxSegsPerShard + segment kind
+	idx int32  // block index within the segment
+}
+
+type blockEntry struct {
+	key  blockKey
+	data []byte
+}
+
+func newBlockCache(budget int64, blockSize int) *blockCache {
+	return &blockCache{
+		budget:    budget,
+		blockSize: blockSize,
+		m:         make(map[blockKey]*list.Element),
+		lru:       list.New(),
+	}
+}
+
+// get returns the cached block, counting the probe.
+func (c *blockCache) get(k blockKey) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.m[k]
+	if ok {
+		c.lru.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*blockEntry).data, true
+}
+
+// put inserts a freshly loaded block and evicts least-recently-used blocks
+// until the byte budget holds again (the inserted block always stays — a
+// budget smaller than one block degrades to single-block residency, it
+// never deadlocks). A concurrent double-load resolves to the first insert.
+func (c *blockCache) put(k blockKey, data []byte) []byte {
+	c.mu.Lock()
+	if el, ok := c.m[k]; ok {
+		c.lru.MoveToFront(el)
+		data = el.Value.(*blockEntry).data
+		c.mu.Unlock()
+		return data
+	}
+	c.m[k] = c.lru.PushFront(&blockEntry{key: k, data: data})
+	c.bytes += int64(len(data))
+	for c.bytes > c.budget && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*blockEntry)
+		c.lru.Remove(back)
+		delete(c.m, e.key)
+		c.bytes -= int64(len(e.data))
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+	return data
+}
+
+// residentBytes reports the current cache size.
+func (c *blockCache) residentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"torchgt/internal/graph"
+)
+
+// fuzzSeedBytes writes a small valid sharded dataset and returns the encoded
+// manifest plus the first shard file, giving the fuzzer a structurally valid
+// starting point to mutate.
+func fuzzSeedBytes(f *testing.F) (manifest, shard []byte) {
+	f.Helper()
+	ds, err := graph.LoadNodeScaled("arxiv-sim", 64, 5)
+	if err != nil {
+		f.Fatalf("LoadNodeScaled: %v", err)
+	}
+	dir := filepath.Join(f.TempDir(), "shards")
+	man, err := Write(dir, ds, 2)
+	if err != nil {
+		f.Fatalf("Write: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeManifest(&buf, man); err != nil {
+		f.Fatalf("EncodeManifest: %v", err)
+	}
+	sh, err := os.ReadFile(filepath.Join(dir, "shard_0000.tgs"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes(), sh
+}
+
+// FuzzDecodeManifest: arbitrary bytes must never panic the manifest parser,
+// and anything it accepts must re-encode and re-decode to the same manifest.
+func FuzzDecodeManifest(f *testing.F) {
+	man, _ := fuzzSeedBytes(f)
+	f.Add(man)
+	f.Add([]byte{})
+	f.Add(man[:8])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > 1<<20 {
+			return
+		}
+		got, err := DecodeManifest(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeManifest(&buf, got); err != nil {
+			t.Fatalf("accepted manifest does not re-encode: %v", err)
+		}
+		again, err := DecodeManifest(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded manifest does not re-decode: %v", err)
+		}
+		if again.NumNodes != got.NumNodes || again.NumEdges != got.NumEdges ||
+			len(again.Shards) != len(got.Shards) || again.Name != got.Name {
+			t.Fatalf("manifest round-trip drift: %+v vs %+v", got, again)
+		}
+	})
+}
+
+// FuzzReadShardHeader: arbitrary bytes must never panic the shard-header
+// parser; accepted headers must carry a sane row range.
+func FuzzReadShardHeader(f *testing.F) {
+	_, sh := fuzzSeedBytes(f)
+	f.Add(sh)
+	f.Add(sh[:16])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > 1<<20 {
+			return
+		}
+		_, info, err := ReadShardHeader(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		if info.RowCount == 0 {
+			t.Fatal("accepted shard header with zero rows")
+		}
+		if len(info.Segments) > maxSegsPerShard {
+			t.Fatalf("accepted %d segments (cap %d)", len(info.Segments), maxSegsPerShard)
+		}
+	})
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package shard
+
+import (
+	"fmt"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(*os.File, int64) ([]byte, error) {
+	return nil, fmt.Errorf("shard: mmap unsupported on this platform")
+}
+
+func munmapFile([]byte) error { return nil }

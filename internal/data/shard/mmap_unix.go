@@ -1,0 +1,26 @@
+//go:build unix
+
+package shard
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether io=mmap maps files; elsewhere the view
+// silently falls back to pread through the block cache.
+const mmapSupported = true
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

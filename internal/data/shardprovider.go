@@ -1,0 +1,88 @@
+package data
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"torchgt/internal/data/shard"
+)
+
+// shardProvider answers shard:// specs: the name is the shard directory
+// (written by `torchgt-data shard`), and the dataset stays disk-resident —
+// Open returns a Dataset whose Stream is the mmap/pread-backed shard view.
+//
+//	shard://run/arxiv-shards
+//	shard://run/arxiv-shards?cache=16MiB&block=32KiB
+//	shard://run/arxiv-shards?io=mmap
+//
+// Determinism holds across backings: every access path of the view is
+// bitwise-identical to the materialised dataset the shards were written
+// from, regardless of cache budget, block size or I/O mode.
+type shardProvider struct{}
+
+func (shardProvider) Scheme() string { return "shard" }
+
+func (shardProvider) ParamKeys() []string { return []string{"cache", "block", "io"} }
+
+func (shardProvider) Open(sp Spec) (*Dataset, error) {
+	var opts shard.Options
+	if v := sp.param("cache"); v != "" {
+		n, err := parseByteSize(v)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("data: parameter cache=%q: want a positive byte size (e.g. 16MiB)", v)
+		}
+		opts.CacheBytes = n
+	}
+	if v := sp.param("block"); v != "" {
+		n, err := parseByteSize(v)
+		if err != nil || n <= 0 || n > 1<<30 {
+			return nil, fmt.Errorf("data: parameter block=%q: want a positive byte size up to 1GiB", v)
+		}
+		opts.BlockBytes = int(n)
+	}
+	switch v := sp.param("io"); v {
+	case "", "pread":
+	case "mmap":
+		opts.MMap = true
+	default:
+		return nil, fmt.Errorf("data: parameter io=%q: want pread or mmap", v)
+	}
+	view, err := shard.Open(sp.Name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Stream: view}, nil
+}
+
+// parseByteSize parses "65536", "64KiB", "16MiB", "1GiB" (binary multiples;
+// the short forms K/M/G and KB/MB/GB mean the same).
+func parseByteSize(s string) (int64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	for _, suf := range []struct {
+		name string
+		m    int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
+		{"kb", 1 << 10}, {"mb", 1 << 20}, {"gb", 1 << 30},
+		{"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30},
+	} {
+		if strings.HasSuffix(t, suf.name) {
+			t = strings.TrimSuffix(t, suf.name)
+			mult = suf.m
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return n * mult, nil
+}
+
+func init() {
+	if err := Register(shardProvider{}); err != nil {
+		panic(err)
+	}
+}

@@ -91,6 +91,9 @@ func LoadDataset(path string) (*Dataset, error) {
 
 // WriteDataset serialises d to w in the tGDS container format.
 func WriteDataset(w io.Writer, d *Dataset) error {
+	if d != nil && d.Stream != nil {
+		return checkWritable(d)
+	}
 	if d == nil || (d.Node == nil) == (d.Graph == nil) {
 		return fmt.Errorf("data: WriteDataset needs exactly one dataset kind")
 	}
@@ -187,6 +190,9 @@ func WriteDataset(w io.Writer, d *Dataset) error {
 // consistency before serialising, so a malformed value fails descriptively
 // instead of panicking mid-write or producing a misaligned file.
 func checkWritable(d *Dataset) error {
+	if d.Stream != nil {
+		return fmt.Errorf("data: streamed dataset %q cannot be written as a monolithic container directly; materialize it first (torchgt-data merge)", d.Name())
+	}
 	if nd := d.Node; nd != nil {
 		n := nd.G.N
 		if nd.X == nil || nd.X.Rows != n {

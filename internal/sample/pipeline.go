@@ -1,0 +1,78 @@
+package sample
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pipeline drives the sampler over ordered target lists with a bounded
+// worker pool, prefetching ahead of the consumer while delivering contexts
+// strictly in submission order — the consumer (an optimiser step, a batch
+// builder) sees exactly the sequence a synchronous loop would produce, while
+// the disk reads of upcoming samples overlap its compute.
+//
+// Ordering scheme: with W workers the pipeline owns L = 2W pooled contexts
+// and L slot channels of capacity 1; sample i is delivered through slot
+// i mod L. Workers claim indices from an atomic counter and block sending
+// into their slot until the consumer has drained the slot's previous
+// occupant (sample i−L). Because a worker must first take a context from the
+// free pool — refilled only as the consumer finishes samples — at most L
+// samples are ever in flight, so the slot a worker sends to is always
+// already drained: no reordering, no deadlock, lookahead capped at L.
+type Pipeline struct {
+	s *Sampler
+}
+
+// NewPipeline builds a pipeline over s.
+func NewPipeline(s *Sampler) *Pipeline { return &Pipeline{s: s} }
+
+// Each samples every target in order, invoking fn with the filled context of
+// target i (serial startSerial+i) in exactly the order given. fn must not
+// retain the context. Returns the source's sticky I/O error, if any, after
+// the last sample — disk-resident sources degrade to zero-filled samples on
+// I/O failure rather than panicking, and the error surfaces here.
+func (p *Pipeline) Each(targets []int32, startSerial uint64, fn func(*Context)) error {
+	w := p.s.cfg.Workers
+	if w <= 1 || len(targets) < 2 {
+		c := p.s.NewContext()
+		for i, t := range targets {
+			p.s.Sample(c, t, startSerial+uint64(i))
+			fn(c)
+		}
+		return p.s.src.SourceErr()
+	}
+	if w > len(targets) {
+		w = len(targets)
+	}
+	lookahead := 2 * w
+	free := make(chan *Context, lookahead)
+	slots := make([]chan *Context, lookahead)
+	for i := 0; i < lookahead; i++ {
+		free <- p.s.NewContext()
+		slots[i] = make(chan *Context, 1)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(targets) {
+					return
+				}
+				c := <-free
+				p.s.Sample(c, targets[i], startSerial+uint64(i))
+				slots[i%lookahead] <- c
+			}
+		}()
+	}
+	for i := range targets {
+		c := <-slots[i%lookahead]
+		fn(c)
+		free <- c
+	}
+	wg.Wait()
+	return p.s.src.SourceErr()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"torchgt/internal/encoding"
 	"torchgt/internal/graph"
 	"torchgt/internal/model"
 	"torchgt/internal/sparse"
@@ -39,15 +40,18 @@ import (
 
 // egoNodes returns the deterministic BFS neighbourhood of target: up to hops
 // levels, capped at maxCtx nodes, neighbours visited in CSR order. Target is
-// always position 0.
-func egoNodes(g *graph.Graph, target int32, hops, maxCtx int) []int32 {
+// always position 0. The walk reads adjacency through the source, so it is
+// identical whether the graph is in memory or streamed from shards.
+func egoNodes(src graph.NodeSource, target int32, hops, maxCtx int) []int32 {
 	seen := map[int32]bool{target: true}
 	nodes := []int32{target}
 	frontier := []int32{target}
+	var adj []int32
 	for hop := 0; hop < hops && len(nodes) < maxCtx; hop++ {
 		var next []int32
 		for _, u := range frontier {
-			for _, v := range g.Neighbors(int(u)) {
+			adj = src.AppendNeighbors(adj, u)
+			for _, v := range adj {
 				if seen[v] || len(nodes) >= maxCtx {
 					continue
 				}
@@ -82,8 +86,8 @@ func (s *Server) segmentFor(node int32) *segment {
 	if seg, ok := s.cache.get(k); ok {
 		return seg
 	}
-	nodes := egoNodes(s.ds.G, node, s.opts.CtxHops, s.opts.CtxSize)
-	sp := sparse.FromGraph(s.ds.G.InducedSubgraph(nodes)) // self-loops added
+	nodes := egoNodes(s.src, node, s.opts.CtxHops, s.opts.CtxSize)
+	sp := sparse.FromGraph(graph.InducedSubgraphOf(s.src, nodes, nil)) // self-loops added
 	return s.cache.put(k, &segment{nodes: nodes, pat: sp, buckets: sp.LocalEdgeBuckets(false, 0)})
 }
 
@@ -104,18 +108,19 @@ type builtBatch struct {
 // of (dataset, options, nodes) — all the determinism guarantees rest on
 // that; the segment cache only memoises it.
 func (s *Server) buildBatch(nodes []int32) (*builtBatch, error) {
-	ds, cfg := s.ds, s.snap.Config()
+	src, cfg := s.src, s.snap.Config()
+	numNodes := src.NumNodes()
 	segs := make([]*segment, len(nodes))
 	total := 0
 	for i, n := range nodes {
-		if n < 0 || int(n) >= ds.G.N {
-			return nil, fmt.Errorf("serve: node %d out of range [0, %d)", n, ds.G.N)
+		if n < 0 || int(n) >= numNodes {
+			return nil, fmt.Errorf("serve: node %d out of range [0, %d)", n, numNodes)
 		}
-		segs[i] = s.segmentFor(ds.StorageRow(n))
+		segs[i] = s.segmentFor(src.StorageRow(n))
 		total += len(segs[i].nodes)
 	}
 
-	x := tensor.New(total, ds.X.Cols)
+	x := tensor.New(total, src.FeatDim())
 	degIn := make([]int32, total)
 	degOut := make([]int32, total)
 	targets := make([]int, len(nodes))
@@ -126,11 +131,11 @@ func (s *Server) buildBatch(nodes []int32) (*builtBatch, error) {
 	for i, seg := range segs {
 		targets[i] = base
 		for p, v := range seg.nodes {
-			copy(x.Row(base+p), ds.X.Row(int(v)))
+			src.CopyFeatureRow(x.Row(base+p), v)
 			// full-graph structural encodings, indexed by node id — the
 			// training-side convention of train.NodeTrainer
-			degIn[base+p] = s.degIn[v]
-			degOut[base+p] = s.degOut[v]
+			degIn[base+p] = clipDegree(src.InDegree(v))
+			degOut[base+p] = clipDegree(src.Degree(v))
 		}
 		packer.Append(seg.pat, seg.buckets)
 		base += len(seg.nodes)
@@ -146,6 +151,15 @@ func (s *Server) buildBatch(nodes []int32) (*builtBatch, error) {
 		return nil, err
 	}
 	return &builtBatch{in: in, spec: spec, targets: targets, packer: packer}, nil
+}
+
+// clipDegree buckets a raw full-graph degree the way training did:
+// clipped at encoding.MaxDegreeBucket.
+func clipDegree(d int) int32 {
+	if d > encoding.MaxDegreeBucket {
+		return encoding.MaxDegreeBucket
+	}
+	return int32(d)
 }
 
 // Mode selects the attention kernel of the serving forward pass. It is a

@@ -3,8 +3,6 @@ package serve
 import (
 	"sync"
 	"sync/atomic"
-
-	"torchgt/internal/graph"
 )
 
 // EgoCache is the shared ego-context cache: it memoises the deterministic
@@ -28,7 +26,7 @@ type EgoCache struct {
 	entries map[ctxKey]*cacheEntry
 
 	vmu   sync.Mutex
-	vers  map[*graph.Graph]uint64
+	vers  map[any]uint64 // graph identity (graph.NodeSource.GraphKey) → version
 	nextV uint64
 
 	hits, misses, evictions atomic.Int64
@@ -59,21 +57,23 @@ func NewEgoCache(capacity int) *EgoCache {
 	return &EgoCache{
 		cap:     capacity,
 		entries: make(map[ctxKey]*cacheEntry),
-		vers:    make(map[*graph.Graph]uint64),
+		vers:    make(map[any]uint64),
 	}
 }
 
-// versionOf returns the cache's stable version number for a graph identity,
-// assigning the next one on first sight. Two servers over the same graph
-// share warmed entries; a different graph can never collide with them.
-func (c *EgoCache) versionOf(g *graph.Graph) uint64 {
+// versionOf returns the cache's stable version number for a graph identity
+// (a source's GraphKey — the *graph.Graph pointer for in-memory datasets,
+// the view pointer for shard-backed ones), assigning the next one on first
+// sight. Two servers over the same graph share warmed entries; a different
+// graph can never collide with them.
+func (c *EgoCache) versionOf(key any) uint64 {
 	c.vmu.Lock()
 	defer c.vmu.Unlock()
-	if v, ok := c.vers[g]; ok {
+	if v, ok := c.vers[key]; ok {
 		return v
 	}
 	c.nextV++
-	c.vers[g] = c.nextV
+	c.vers[key] = c.nextV
 	return c.nextV
 }
 

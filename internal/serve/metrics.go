@@ -4,6 +4,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"torchgt/internal/graph"
 )
 
 // Prometheus text exposition (format 0.0.4), hand-rolled — the contract both
@@ -105,6 +107,45 @@ func engineFamilies(p *promBuf, rows []engineRow) {
 	}
 }
 
+// ioRow pairs one out-of-core source's IOStats with its labels.
+type ioRow struct {
+	labels [][2]string
+	st     graph.IOStats
+}
+
+// shardIOFamilies renders the disk block-cache counters of shard-backed
+// datasets — the observable side of the out-of-core contract. Models over
+// in-memory datasets simply contribute no rows.
+func shardIOFamilies(p *promBuf, rows []ioRow) {
+	if len(rows) == 0 {
+		return
+	}
+	p.family("torchgt_shard_io_cache_hits_total", "counter", "Shard block reads answered from the LRU cache.")
+	for _, r := range rows {
+		p.sample("torchgt_shard_io_cache_hits_total", r.labels, float64(r.st.Hits))
+	}
+	p.family("torchgt_shard_io_cache_misses_total", "counter", "Shard block reads that went to disk.")
+	for _, r := range rows {
+		p.sample("torchgt_shard_io_cache_misses_total", r.labels, float64(r.st.Misses))
+	}
+	p.family("torchgt_shard_io_cache_evictions_total", "counter", "Shard blocks evicted by the LRU.")
+	for _, r := range rows {
+		p.sample("torchgt_shard_io_cache_evictions_total", r.labels, float64(r.st.Evictions))
+	}
+	p.family("torchgt_shard_io_read_bytes_total", "counter", "Bytes read from shard files.")
+	for _, r := range rows {
+		p.sample("torchgt_shard_io_read_bytes_total", r.labels, float64(r.st.BytesRead))
+	}
+	p.family("torchgt_shard_io_cached_bytes", "gauge", "Resident shard cache bytes.")
+	for _, r := range rows {
+		p.sample("torchgt_shard_io_cached_bytes", r.labels, float64(r.st.CachedBytes))
+	}
+	p.family("torchgt_shard_io_budget_bytes", "gauge", "Configured shard cache budget.")
+	for _, r := range rows {
+		p.sample("torchgt_shard_io_budget_bytes", r.labels, float64(r.st.BudgetBytes))
+	}
+}
+
 func cacheFamilies(p *promBuf, cs CacheStats) {
 	p.family("torchgt_ego_cache_hits_total", "counter", "Ego-context lookups answered from cache (BFS skipped).")
 	p.sample("torchgt_ego_cache_hits_total", nil, float64(cs.Hits))
@@ -161,11 +202,16 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 	}
 
 	rows := make([]engineRow, 0, len(st.Models))
+	ioRows := make([]ioRow, 0, len(st.Models))
 	for _, m := range st.Models {
 		rows = append(rows, engineRow{labels: [][2]string{{"model", m.Name}}, st: m.Engine})
+		if m.IO != nil {
+			ioRows = append(ioRows, ioRow{labels: [][2]string{{"model", m.Name}}, st: *m.IO})
+		}
 	}
 	engineFamilies(p, rows)
 	cacheFamilies(p, st.Cache)
+	shardIOFamilies(p, ioRows)
 	_, err := io.WriteString(w, p.b.String())
 	return err
 }
@@ -178,6 +224,9 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	p.sample("torchgt_ready", nil, b2f(!s.Closed()))
 	engineFamilies(p, []engineRow{{labels: nil, st: s.Stats()}})
 	cacheFamilies(p, s.cache.Stats())
+	if st, ok := s.SourceIOStats(); ok {
+		shardIOFamilies(p, []ioRow{{labels: nil, st: st}})
+	}
 	_, err := io.WriteString(w, p.b.String())
 	return err
 }

@@ -77,7 +77,7 @@ type generation struct {
 // registered is one named model in the registry.
 type registered struct {
 	name string
-	ds   *graph.NodeDataset
+	src  graph.NodeSource
 	opts ModelOptions
 
 	mu       sync.Mutex // serialises Publish/Swap/close per model
@@ -115,10 +115,17 @@ func (r *Registry) Cache() *EgoCache { return r.cache }
 // Register declares a model name served over ds. It holds no snapshot yet;
 // Publish and Swap bring it live.
 func (r *Registry) Register(name string, ds *graph.NodeDataset, opts ModelOptions) error {
+	return r.RegisterSource(name, graph.SourceOf(ds), opts)
+}
+
+// RegisterSource is Register over any node source — disk-resident shard
+// views included, which lets the control plane hot-swap models over graphs
+// that never load into memory.
+func (r *Registry) RegisterSource(name string, src graph.NodeSource, opts ModelOptions) error {
 	if name == "" {
 		return fmt.Errorf("serve: empty model name")
 	}
-	if ds == nil {
+	if src == nil {
 		return fmt.Errorf("serve: model %s: nil dataset", name)
 	}
 	if opts.MaxPending <= 0 {
@@ -133,7 +140,7 @@ func (r *Registry) Register(name string, ds *graph.NodeDataset, opts ModelOption
 	if _, ok := r.models[name]; ok {
 		return fmt.Errorf("serve: model %s already registered", name)
 	}
-	r.models[name] = &registered{name: name, ds: ds, opts: opts, versions: make(map[int]*Snapshot)}
+	r.models[name] = &registered{name: name, src: src, opts: opts, versions: make(map[int]*Snapshot)}
 	return nil
 }
 
@@ -168,7 +175,7 @@ func (r *Registry) Publish(name string, snap *Snapshot) (int, error) {
 	if snap == nil {
 		return 0, fmt.Errorf("serve: model %s: nil snapshot", name)
 	}
-	if err := validateServable(snap.Config(), m.ds); err != nil {
+	if err := validateServable(snap.Config(), m.src); err != nil {
 		return 0, fmt.Errorf("serve: model %s: publish: %w", name, err)
 	}
 	m.mu.Lock()
@@ -212,7 +219,7 @@ func (r *Registry) Swap(name string, version int) (uint64, error) {
 	if !ok {
 		return 0, fmt.Errorf("serve: model %s: version %d not published", name, version)
 	}
-	srv, err := NewServer(snap, m.ds, m.opts.Serve)
+	srv, err := NewServerSource(snap, m.src, m.opts.Serve)
 	if err != nil {
 		return 0, fmt.Errorf("serve: model %s: swap to version %d: %w", name, version, err)
 	}
@@ -311,6 +318,9 @@ type ModelStatus struct {
 	Shed       int64  `json:"shed"`        // requests rejected with ErrOverloaded
 	Pending    int64  `json:"pending"`     // requests in flight right now
 	Engine     Stats  `json:"engine"`      // active generation's engine counters
+	// IO carries the disk cache counters of a shard-backed (out-of-core)
+	// dataset; nil when the model's dataset is in memory.
+	IO *graph.IOStats `json:"io,omitempty"`
 }
 
 // RegistryStats snapshots the whole control plane.
@@ -350,6 +360,10 @@ func (r *Registry) Stats() RegistryStats {
 			ms.Version = g.version
 			ms.Generation = g.gen
 			ms.Engine = g.srv.Stats()
+		}
+		if io, ok := m.src.(graph.IOStatsSource); ok {
+			ist := io.IOStats()
+			ms.IO = &ist
 		}
 		st.Models = append(st.Models, ms)
 	}

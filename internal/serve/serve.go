@@ -26,7 +26,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"torchgt/internal/encoding"
 	"torchgt/internal/graph"
 	"torchgt/internal/model"
 	"torchgt/internal/sparse"
@@ -181,18 +180,20 @@ type Stats struct {
 	AvgBatchSize  float64
 }
 
-// Server is the batched inference engine over one dataset's graph.
+// Server is the batched inference engine over one dataset's graph. The
+// graph, features and encodings are read through a graph.NodeSource — the
+// in-memory dataset or a disk-resident shard view, interchangeably: the
+// per-request ego contexts are deterministic functions of the source's
+// logical content, so responses are bitwise identical across backings.
 type Server struct {
 	snap *Snapshot
-	ds   *graph.NodeDataset
+	src  graph.NodeSource
 	opts Options
 	exec model.ExecOptions // replica runtime configuration (scale-up reuses it)
 
-	// Full-graph structural encodings (training convention), immutable
-	// after construction, plus the ego-context cache (possibly shared).
-	degIn, degOut []int32
-	cache         *EgoCache
-	gver          uint64 // cache version of ds.G
+	// The ego-context cache (possibly shared across servers).
+	cache *EgoCache
+	gver  uint64 // cache version of the source's graph identity
 
 	// packers pools the per-batch block-diagonal assemblers: one per
 	// in-flight batch, drawn in buildBatch and returned after the forward,
@@ -217,17 +218,17 @@ type Server struct {
 }
 
 // validateServable checks that a snapshot configuration can serve node-level
-// predictions over ds — shared by NewServer and Registry.Publish so an
+// predictions over src — shared by NewServer and Registry.Publish so an
 // unservable snapshot is refused at publish time, before any swap tries it.
-func validateServable(cfg model.Config, ds *graph.NodeDataset) error {
+func validateServable(cfg model.Config, src graph.NodeSource) error {
 	if cfg.GlobalToken {
 		return fmt.Errorf("serve: global-token (graph-level) models are not servable node-level")
 	}
-	if cfg.InDim != ds.X.Cols {
-		return fmt.Errorf("serve: model expects %d input features, dataset has %d", cfg.InDim, ds.X.Cols)
+	if cfg.InDim != src.FeatDim() {
+		return fmt.Errorf("serve: model expects %d input features, dataset has %d", cfg.InDim, src.FeatDim())
 	}
-	if ds.NumClasses > 0 && cfg.OutDim != ds.NumClasses {
-		return fmt.Errorf("serve: model emits %d classes, dataset has %d", cfg.OutDim, ds.NumClasses)
+	if src.Classes() > 0 && cfg.OutDim != src.Classes() {
+		return fmt.Errorf("serve: model emits %d classes, dataset has %d", cfg.OutDim, src.Classes())
 	}
 	if cfg.UseLapPE {
 		// Training-time Laplacian PE depends on the trainer's seed and (for
@@ -244,14 +245,21 @@ func validateServable(cfg model.Config, ds *graph.NodeDataset) error {
 // the scheduler. The dataset provides the served graph, features and
 // encodings; it must match the snapshot's input/output dimensions.
 func NewServer(snap *Snapshot, ds *graph.NodeDataset, opts Options) (*Server, error) {
+	return NewServerSource(snap, graph.SourceOf(ds), opts)
+}
+
+// NewServerSource is NewServer over any node source — including the
+// disk-resident shard view, which serves graphs larger than memory through
+// its block cache.
+func NewServerSource(snap *Snapshot, src graph.NodeSource, opts Options) (*Server, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("serve: nil snapshot")
 	}
-	if ds == nil {
+	if src == nil {
 		return nil, fmt.Errorf("serve: nil dataset")
 	}
 	opts = opts.withDefaults()
-	if err := validateServable(snap.Config(), ds); err != nil {
+	if err := validateServable(snap.Config(), src); err != nil {
 		return nil, err
 	}
 	if _, err := specFor(opts, sparse.FromPairs(1, nil), nil, []int32{0, 1}); err != nil {
@@ -287,16 +295,15 @@ func NewServer(snap *Snapshot, ds *graph.NodeDataset, opts Options) (*Server, er
 	}
 	s := &Server{
 		snap:    snap,
-		ds:      ds,
+		src:     src,
 		opts:    opts,
 		exec:    exec,
 		cache:   cache,
-		gver:    cache.versionOf(ds.G),
+		gver:    cache.versionOf(src.GraphKey()),
 		reqCh:   make(chan *request, opts.QueueCap),
 		jobCh:   make(chan *job),
 		packers: sync.Pool{New: func() any { return sparse.NewPacker() }},
 	}
-	s.degIn, s.degOut = encoding.DegreeBuckets(ds.G, encoding.MaxDegreeBucket)
 	go s.batchLoop()
 	s.nWorkers.Store(int64(len(replicas)))
 	for _, m := range replicas {
@@ -309,6 +316,19 @@ func NewServer(snap *Snapshot, ds *graph.NodeDataset, opts Options) (*Server, er
 // Cache exposes the ego-context cache backing this server (shared or
 // private), mainly so its hit/miss/eviction counters can be reported.
 func (s *Server) Cache() *EgoCache { return s.cache }
+
+// Source exposes the node source the server reads through.
+func (s *Server) Source() graph.NodeSource { return s.src }
+
+// SourceIOStats reports the disk I/O counters of a disk-resident source
+// (shard block-cache hits/misses/evictions, bytes read). ok is false for
+// in-memory sources.
+func (s *Server) SourceIOStats() (st graph.IOStats, ok bool) {
+	if io, isIO := s.src.(graph.IOStatsSource); isIO {
+		return io.IOStats(), true
+	}
+	return graph.IOStats{}, false
+}
 
 // Options reports the resolved serving options.
 func (s *Server) Options() Options { return s.opts }
@@ -340,8 +360,8 @@ func (s *Server) PredictAsync(ctx context.Context, node int32) <-chan Response {
 		ctx = context.Background()
 	}
 	resp := make(chan Response, 1)
-	if node < 0 || int(node) >= s.ds.G.N {
-		resp <- Response{Node: node, Err: fmt.Errorf("serve: node %d out of range [0, %d)", node, s.ds.G.N)}
+	if n := s.src.NumNodes(); node < 0 || int(node) >= n {
+		resp <- Response{Node: node, Err: fmt.Errorf("serve: node %d out of range [0, %d)", node, n)}
 		return resp
 	}
 	r := &request{ctx: ctx, node: node, resp: resp, enq: time.Now()}
@@ -376,9 +396,10 @@ func (s *Server) PredictBatch(nodes []int32) []Response {
 	var reqs []*request
 	slot := make([]int, 0, len(nodes))
 	now := time.Now()
+	numNodes := s.src.NumNodes()
 	for i, n := range nodes {
-		if n < 0 || int(n) >= s.ds.G.N {
-			out[i] = Response{Node: n, Err: fmt.Errorf("serve: node %d out of range [0, %d)", n, s.ds.G.N)}
+		if n < 0 || int(n) >= numNodes {
+			out[i] = Response{Node: n, Err: fmt.Errorf("serve: node %d out of range [0, %d)", n, numNodes)}
 			continue
 		}
 		reqs = append(reqs, &request{ctx: context.Background(), node: n, resp: make(chan Response, 1), enq: now})

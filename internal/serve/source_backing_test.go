@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"torchgt/internal/data/shard"
+)
+
+// TestServerBackingInvariant pins the serving half of the out-of-core
+// contract: /predict responses (class and full probability vector, bitwise)
+// are identical whether the server's ego-context builder reads the
+// in-memory dataset or a sharded view evicting under a tight cache budget,
+// and the shard-backed server reports I/O stats for /metrics.
+func TestServerBackingInvariant(t *testing.T) {
+	ds := testDataset(300, 61)
+	dir := filepath.Join(t.TempDir(), "shards")
+	if _, err := shard.Write(dir, ds, 3); err != nil {
+		t.Fatalf("shard.Write: %v", err)
+	}
+	v, err := shard.Open(dir, shard.Options{CacheBytes: 16 << 10, BlockBytes: 1 << 10})
+	if err != nil {
+		t.Fatalf("shard.Open: %v", err)
+	}
+	defer v.Close()
+
+	snap := testSnapshot(t, ds, 62)
+	mem := mustServer(t, snap, ds, Options{Workers: 1})
+	sharded, err := NewServerSource(snap, v, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("NewServerSource: %v", err)
+	}
+	t.Cleanup(sharded.Close)
+
+	if _, ok := mem.SourceIOStats(); ok {
+		t.Fatal("in-memory server claims I/O stats")
+	}
+
+	nodes := make([]int32, 64)
+	for i := range nodes {
+		nodes[i] = int32((i * 13) % ds.G.N)
+	}
+	a := mem.PredictBatch(nodes)
+	b := sharded.PredictBatch(nodes)
+	for i := range a {
+		if a[i].Class != b[i].Class || !bitsEqual(a[i].Probs, b[i].Probs) {
+			t.Fatalf("node %d: shard-backed response differs (class %d vs %d)",
+				nodes[i], b[i].Class, a[i].Class)
+		}
+	}
+
+	st, ok := sharded.SourceIOStats()
+	if !ok {
+		t.Fatal("shard-backed server reports no I/O stats")
+	}
+	if st.Misses == 0 || st.BytesRead == 0 {
+		t.Fatalf("shard backing saw no I/O: %+v", st)
+	}
+	if st.BudgetBytes != 16<<10 {
+		t.Fatalf("budget %d, want %d", st.BudgetBytes, 16<<10)
+	}
+}
+
+// TestShardIOMetricsExposition: the torchgt_shard_io_* families appear on
+// both metric surfaces (bare server and registry, the latter with model
+// labels), and only for disk-resident backings.
+func TestShardIOMetricsExposition(t *testing.T) {
+	ds := testDataset(200, 71)
+	dir := filepath.Join(t.TempDir(), "shards")
+	if _, err := shard.Write(dir, ds, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := shard.Open(dir, shard.Options{CacheBytes: 8 << 10, BlockBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	snap := testSnapshot(t, ds, 72)
+
+	srv, err := NewServerSource(snap, v, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	srv.PredictBatch([]int32{1, 50, 180})
+	var buf bytes.Buffer
+	if err := srv.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"torchgt_shard_io_cache_misses_total",
+		"torchgt_shard_io_read_bytes_total",
+		"torchgt_shard_io_budget_bytes 8192",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("bare-server metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	reg := NewRegistry(0)
+	t.Cleanup(func() { reg.Close() })
+	if err := reg.RegisterSource("ooc", v, ModelOptions{Serve: Options{Workers: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("mem", ds, ModelOptions{Serve: Options{Workers: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("ooc", snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("mem", snap); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := reg.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `torchgt_shard_io_budget_bytes{model="ooc"} 8192`) {
+		t.Fatalf("registry metrics missing labelled shard budget:\n%s", out)
+	}
+	if strings.Contains(out, `torchgt_shard_io_budget_bytes{model="mem"}`) {
+		t.Fatal("in-memory model contributed shard I/O rows")
+	}
+}

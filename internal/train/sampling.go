@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"time"
 
-	"torchgt/internal/encoding"
 	"torchgt/internal/graph"
 	"torchgt/internal/model"
 	"torchgt/internal/nn"
+	"torchgt/internal/sample"
 	"torchgt/internal/sparse"
 	"torchgt/internal/tensor"
 )
@@ -26,6 +26,12 @@ type EgoConfig struct {
 	MaxSize int // max ego-graph size incl. target (default 32)
 	Batch   int // targets per optimiser step (default 32)
 	Seed    int64
+	// Workers sets the sampling pipeline's prefetch concurrency (≤1 =
+	// synchronous). Sampling is deterministic per (seed, serial, target),
+	// so the worker count changes wall-clock only, never results — which
+	// is what makes it safe to raise for disk-resident (shard://) sources
+	// where the samples hide read latency.
+	Workers int
 }
 
 func (c EgoConfig) withDefaults() EgoConfig {
@@ -47,115 +53,106 @@ func (c EgoConfig) withDefaults() EgoConfig {
 	return c
 }
 
-// EgoTrainer trains node classification from sampled ego-graphs.
+// EgoTrainer trains node classification from sampled ego-graphs drawn
+// through a graph.NodeSource — the in-memory dataset or a disk-resident
+// shard view, interchangeably: the sampled sequences are bitwise-identical
+// across backings and worker counts.
 type EgoTrainer struct {
 	Cfg      EgoConfig
 	Model    *model.GraphTransformer
-	DS       *graph.NodeDataset
+	Src      graph.NodeSource
 	modelCfg model.Config
+	serial   uint64
 }
 
-// NewEgoTrainer builds the trainer; the model is used with a global-token
-// head reading out the (position-0) target node.
+// NewEgoTrainer builds the trainer over an in-memory dataset; the model is
+// used with a global-token head reading out the (position-0) target node.
 func NewEgoTrainer(cfg EgoConfig, modelCfg model.Config, ds *graph.NodeDataset) *EgoTrainer {
+	return NewEgoTrainerSource(cfg, modelCfg, graph.SourceOf(ds))
+}
+
+// NewEgoTrainerSource builds the trainer over any node source.
+func NewEgoTrainerSource(cfg EgoConfig, modelCfg model.Config, src graph.NodeSource) *EgoTrainer {
 	cfg = cfg.withDefaults()
 	modelCfg.GlobalToken = false
-	return &EgoTrainer{Cfg: cfg, Model: model.NewGraphTransformer(modelCfg), modelCfg: modelCfg, DS: ds}
+	return &EgoTrainer{Cfg: cfg, Model: model.NewGraphTransformer(modelCfg), modelCfg: modelCfg, Src: src}
 }
 
-// validate checks the dataset against the model before training, so Run
+// validate checks the source against the model before training, so Run
 // reports a descriptive error instead of a mid-epoch panic.
 func (tr *EgoTrainer) validate() error {
-	if tr.DS == nil {
+	if tr.Src == nil {
 		return fmt.Errorf("train: ego trainer has no dataset")
 	}
-	if tr.modelCfg.InDim != tr.DS.X.Cols {
+	if tr.modelCfg.InDim != tr.Src.FeatDim() {
 		return fmt.Errorf("train: model expects %d input features, dataset %q has %d",
-			tr.modelCfg.InDim, tr.DS.Name, tr.DS.X.Cols)
+			tr.modelCfg.InDim, tr.Src.DatasetName(), tr.Src.FeatDim())
 	}
-	if tr.DS.NumClasses > 0 && tr.modelCfg.OutDim != tr.DS.NumClasses {
+	if tr.Src.Classes() > 0 && tr.modelCfg.OutDim != tr.Src.Classes() {
 		return fmt.Errorf("train: model emits %d classes, dataset %q has %d",
-			tr.modelCfg.OutDim, tr.DS.Name, tr.DS.NumClasses)
+			tr.modelCfg.OutDim, tr.Src.DatasetName(), tr.Src.Classes())
 	}
 	hasTrain := false
-	for _, m := range tr.DS.TrainMask {
-		if m {
+	for i, n := 0, tr.Src.NumNodes(); i < n; i++ {
+		if tr.Src.SplitOf(int32(i)).Train() {
 			hasTrain = true
 			break
 		}
 	}
 	if !hasTrain {
-		return fmt.Errorf("train: dataset %q has no training nodes", tr.DS.Name)
+		return fmt.Errorf("train: dataset %q has no training nodes", tr.Src.DatasetName())
 	}
 	return nil
 }
 
-// sampleEgo collects ≤MaxSize nodes around target by truncated BFS with
-// per-hop random down-sampling; target is always position 0.
-func (tr *EgoTrainer) sampleEgo(target int32, rng interface{ Intn(int) int }) []int32 {
-	seen := map[int32]bool{target: true}
-	nodes := []int32{target}
-	frontier := []int32{target}
-	for hop := 0; hop < tr.Cfg.Hops && len(nodes) < tr.Cfg.MaxSize; hop++ {
-		var next []int32
-		for _, u := range frontier {
-			adj := tr.DS.G.Neighbors(int(u))
-			// random order over neighbours
-			order := make([]int, len(adj))
-			for i := range order {
-				order[i] = i
-			}
-			for i := len(order) - 1; i > 0; i-- {
-				j := rng.Intn(i + 1)
-				order[i], order[j] = order[j], order[i]
-			}
-			for _, oi := range order {
-				v := adj[oi]
-				if seen[v] || len(nodes) >= tr.Cfg.MaxSize {
-					continue
-				}
-				seen[v] = true
-				nodes = append(nodes, v)
-				next = append(next, v)
-			}
-		}
-		frontier = next
-	}
-	return nodes
+// pipeline builds the prefetching sampler pipeline for this trainer.
+func (tr *EgoTrainer) pipeline() *sample.Pipeline {
+	return sample.NewPipeline(sample.New(tr.Src, sample.Config{
+		Hops: tr.Cfg.Hops, MaxSize: tr.Cfg.MaxSize, Seed: tr.Cfg.Seed, Workers: tr.Cfg.Workers,
+	}))
+}
+
+// nextSerial reserves n sample serial numbers. Serials count submissions in
+// program order, so they are independent of worker count.
+func (tr *EgoTrainer) nextSerial(n int) uint64 {
+	s := tr.serial
+	tr.serial += uint64(n)
+	return s
+}
+
+// forward runs the model over one sampled ego context. The context's X is
+// handed to the model directly; the model does not retain it past the
+// backward pass, which completes before the context is recycled.
+func (tr *EgoTrainer) forward(c *sample.Context, train bool) *tensor.Mat {
+	p := sparse.FromGraph(c.Sub)
+	in := &model.Inputs{X: c.X, DegInIdx: c.DegIn, DegOutIdx: c.DegOut}
+	spec := &model.AttentionSpec{Mode: model.ModeSparse, Pattern: p, EdgeBuckets: edgeBucketsFor(p, false, 0)}
+	return tr.Model.Forward(in, spec, train)
 }
 
 // step trains on one batch of targets and returns the summed loss.
-func (tr *EgoTrainer) step(targets []int32, opt *nn.Adam, rng interface{ Intn(int) int }) float64 {
+func (tr *EgoTrainer) step(pipe *sample.Pipeline, targets []int32, opt *nn.Adam) (float64, error) {
 	var total float64
-	for _, tgt := range targets {
-		nodes := tr.sampleEgo(tgt, rng)
-		sub := tr.DS.G.InducedSubgraph(nodes)
-		x := tensor.New(len(nodes), tr.DS.X.Cols)
-		for i, v := range nodes {
-			copy(x.Row(i), tr.DS.X.Row(int(v)))
-		}
-		degIn, degOut := encoding.DegreeBuckets(sub, 63)
-		in := &model.Inputs{X: x, DegInIdx: degIn, DegOutIdx: degOut}
-		p := sparse.FromGraph(sub)
-		spec := &model.AttentionSpec{Mode: model.ModeSparse, Pattern: p, EdgeBuckets: edgeBucketsFor(p, false, 0)}
-		logits := tr.Model.Forward(in, spec, true)
+	err := pipe.Each(targets, tr.nextSerial(len(targets)), func(c *sample.Context) {
+		logits := tr.forward(c, true)
 		// loss on the target node (row 0) only
-		mask := make([]bool, len(nodes))
+		mask := make([]bool, len(c.Nodes))
 		mask[0] = true
-		labels := make([]int32, len(nodes))
-		labels[0] = tr.DS.Y[tgt]
+		labels := make([]int32, len(c.Nodes))
+		labels[0] = c.Label
 		l, dl := nn.SoftmaxCrossEntropy(logits, labels, mask)
 		tr.Model.Backward(dl)
 		total += l
-	}
+	})
 	opt.Step(tr.Model.Params())
-	return total
+	return total, err
 }
 
 // Run trains over all train-mask targets each epoch and evaluates on a
 // sample of test nodes. Invalid configurations (nil or mismatched dataset,
 // no training nodes) are reported as errors rather than panics, and
-// callers — TrainNodeEgo included — propagate them.
+// callers — TrainNodeEgo included — propagate them. On disk-resident
+// sources, I/O failures surface between batches as errors.
 func (tr *EgoTrainer) Run() (*Result, error) {
 	if err := tr.validate(); err != nil {
 		return nil, err
@@ -163,11 +160,13 @@ func (tr *EgoTrainer) Run() (*Result, error) {
 	opt := nn.NewAdam(tr.Cfg.LR)
 	opt.ClipNorm = 5
 	rng := newRand(tr.Cfg.Seed)
+	pipe := tr.pipeline()
 	var trainIdx, testIdx []int32
-	for i := range tr.DS.Y {
-		if tr.DS.TrainMask[i] {
+	for i, n := 0, tr.Src.NumNodes(); i < n; i++ {
+		s := tr.Src.SplitOf(int32(i))
+		if s.Train() {
 			trainIdx = append(trainIdx, int32(i))
-		} else if tr.DS.TestMask[i] {
+		} else if s.Test() {
 			testIdx = append(testIdx, int32(i))
 		}
 	}
@@ -176,50 +175,55 @@ func (tr *EgoTrainer) Run() (*Result, error) {
 		t0 := time.Now()
 		rng.Shuffle(len(trainIdx), func(i, j int) { trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i] })
 		var epLoss float64
-		steps := 0
 		for lo := 0; lo < len(trainIdx); lo += tr.Cfg.Batch {
 			hi := lo + tr.Cfg.Batch
 			if hi > len(trainIdx) {
 				hi = len(trainIdx)
 			}
-			epLoss += tr.step(trainIdx[lo:hi], opt, rng)
-			steps++
+			l, err := tr.step(pipe, trainIdx[lo:hi], opt)
+			if err != nil {
+				return nil, fmt.Errorf("train: epoch %d: %w", ep, err)
+			}
+			epLoss += l
+		}
+		acc, err := tr.evalSample(pipe, testIdx, 200, rng)
+		if err != nil {
+			return nil, err
 		}
 		curve = append(curve, Point{
 			Epoch: ep, Loss: epLoss / float64(len(trainIdx)),
-			TestAcc: tr.evalSample(testIdx, 200, rng), EpochTime: time.Since(t0),
+			TestAcc: acc, EpochTime: time.Since(t0),
 		})
 	}
 	res := summarise(GPSparse, curve, 0)
-	res.FinalTestAcc = tr.evalSample(testIdx, 400, rng)
+	final, err := tr.evalSample(pipe, testIdx, 400, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.FinalTestAcc = final
 	if res.FinalTestAcc > res.BestTestAcc {
 		res.BestTestAcc = res.FinalTestAcc
 	}
 	return res, nil
 }
 
-// evalSample classifies up to n test targets via their ego-graphs.
-func (tr *EgoTrainer) evalSample(testIdx []int32, n int, rng interface{ Intn(int) int }) float64 {
+// evalSample classifies up to n test targets via their ego-graphs. Target
+// selection draws from the trainer RNG (as before); the per-target sampling
+// randomness comes from the pipeline's serial stream.
+func (tr *EgoTrainer) evalSample(pipe *sample.Pipeline, testIdx []int32, n int, rng interface{ Intn(int) int }) (float64, error) {
 	if len(testIdx) == 0 {
-		return 0
+		return 0, nil
 	}
 	if n > len(testIdx) {
 		n = len(testIdx)
 	}
+	targets := make([]int32, n)
+	for i := range targets {
+		targets[i] = testIdx[rng.Intn(len(testIdx))]
+	}
 	correct := 0
-	for i := 0; i < n; i++ {
-		tgt := testIdx[rng.Intn(len(testIdx))]
-		nodes := tr.sampleEgo(tgt, rng)
-		sub := tr.DS.G.InducedSubgraph(nodes)
-		x := tensor.New(len(nodes), tr.DS.X.Cols)
-		for j, v := range nodes {
-			copy(x.Row(j), tr.DS.X.Row(int(v)))
-		}
-		degIn, degOut := encoding.DegreeBuckets(sub, 63)
-		in := &model.Inputs{X: x, DegInIdx: degIn, DegOutIdx: degOut}
-		p := sparse.FromGraph(sub)
-		spec := &model.AttentionSpec{Mode: model.ModeSparse, Pattern: p, EdgeBuckets: edgeBucketsFor(p, false, 0)}
-		logits := tr.Model.Forward(in, spec, false)
+	err := pipe.Each(targets, tr.nextSerial(n), func(c *sample.Context) {
+		logits := tr.forward(c, false)
 		row := logits.Row(0)
 		best := 0
 		for j := 1; j < len(row); j++ {
@@ -227,9 +231,12 @@ func (tr *EgoTrainer) evalSample(testIdx []int32, n int, rng interface{ Intn(int
 				best = j
 			}
 		}
-		if int32(best) == tr.DS.Y[tgt] {
+		if int32(best) == c.Label {
 			correct++
 		}
+	})
+	if err != nil {
+		return 0, err
 	}
-	return float64(correct) / float64(n)
+	return float64(correct) / float64(n), nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"torchgt/internal/graph"
 	"torchgt/internal/model"
+	"torchgt/internal/sample"
 )
 
 func smallNodeDataset(seed int64) *graph.NodeDataset {
@@ -271,12 +272,12 @@ func TestEgoTrainerRunErrors(t *testing.T) {
 
 func TestEgoSampleRespectsBounds(t *testing.T) {
 	ds := smallNodeDataset(33)
-	cfg := model.GraphormerSlim(12, 4, 34)
-	cfg.Layers = 1
-	tr := NewEgoTrainer(EgoConfig{MaxSize: 8, Hops: 3, Epochs: 1, Seed: 35}, cfg, ds)
+	s := sample.New(graph.SourceOf(ds), sample.Config{MaxSize: 8, Hops: 3, Seed: 35})
+	c := s.NewContext()
 	rng := newRand(36)
 	for i := 0; i < 20; i++ {
-		nodes := tr.sampleEgo(int32(rng.Intn(ds.G.N)), rng)
+		s.Sample(c, int32(rng.Intn(ds.G.N)), uint64(i))
+		nodes := c.Nodes
 		if len(nodes) == 0 || len(nodes) > 8 {
 			t.Fatalf("ego size %d out of bounds", len(nodes))
 		}

@@ -46,3 +46,22 @@ func TrainNodeEgo(cfg ModelConfig, ds *NodeDataset, opts TrainOptions) (*Result,
 	}, cfg, ds)
 	return tr.Run()
 }
+
+// TrainNodeEgoSource is TrainNodeEgo over any node source. Disk-resident
+// shard:// views train without materialising the graph: each step touches
+// only the sampled ego contexts, read through the view's bounded block
+// cache, so the memory footprint is the cache budget, not the dataset size.
+// workers sets the sampling-pipeline parallelism (≤ 1 samples synchronously);
+// the trajectory is bitwise-identical for every worker count and every
+// backing of the same dataset, under the same seed.
+func TrainNodeEgoSource(cfg ModelConfig, src NodeSource, opts TrainOptions, workers int) (*Result, error) {
+	maxSize := opts.SeqLen
+	if maxSize <= 0 {
+		maxSize = 32
+	}
+	tr := train.NewEgoTrainerSource(train.EgoConfig{
+		Epochs: opts.Epochs, LR: opts.LR, MaxSize: maxSize,
+		Batch: opts.BatchSize, Seed: opts.Seed, Workers: workers,
+	}, cfg, src)
+	return tr.Run()
+}

@@ -91,6 +91,15 @@ func NewServer(snap *Snapshot, ds *NodeDataset, opts ServeOptions) (*Server, err
 	return serve.NewServer(snap, ds, opts)
 }
 
+// NewServerSource is NewServer over any node source — disk-resident shard://
+// views included, which serves graphs that never load into memory. Responses
+// are bitwise-identical across backings of the same dataset; the view's
+// block-cache counters surface through Server.SourceIOStats and the
+// torchgt_shard_io_* metric families.
+func NewServerSource(snap *Snapshot, src NodeSource, opts ServeOptions) (*Server, error) {
+	return serve.NewServerSource(snap, src, opts)
+}
+
 // ServeLoadPoint summarises one offered-load run against a Server.
 type ServeLoadPoint = serve.LoadPoint
 
