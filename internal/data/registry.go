@@ -2,6 +2,7 @@ package data
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -83,13 +84,18 @@ type Materializer interface {
 }
 
 // Materialize converts a streamed dataset into its in-memory form; in-memory
-// datasets pass through unchanged.
+// datasets pass through unchanged. The stream is closed once its contents
+// have been copied out — callers keep only the returned dataset, and leaving
+// the view open would leak its file descriptors and mmaps for the life of
+// the process.
 func (d *Dataset) Materialize() (*Dataset, error) {
 	if d.Stream == nil {
 		return d, nil
 	}
 	m, ok := d.Stream.(Materializer)
 	if !ok {
+		// MemDataset unwraps the backing in-memory dataset — the result
+		// aliases the stream's storage, so the stream must stay open.
 		if nd := graph.MemDataset(d.Stream); nd != nil {
 			return &Dataset{Node: nd}, nil
 		}
@@ -98,6 +104,11 @@ func (d *Dataset) Materialize() (*Dataset, error) {
 	nd, err := m.Materialize()
 	if err != nil {
 		return nil, err
+	}
+	if c, ok := d.Stream.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			return nil, fmt.Errorf("data: closing streamed dataset %q after materializing: %w", d.Name(), err)
+		}
 	}
 	return &Dataset{Node: nd}, nil
 }

@@ -205,6 +205,22 @@ func Write(dir string, nd *graph.NodeDataset, shards int) (*Manifest, error) {
 	if len(nd.Name) > maxNameLen {
 		return nil, fmt.Errorf("shard: dataset name of %d bytes exceeds the format limit", len(nd.Name))
 	}
+	// Enforce the read-side manifest bounds at write time: a dataset that
+	// sharded successfully but could never be opened (DecodeManifest rejects
+	// the header) would defer the failure to read time.
+	if n > maxNodes {
+		return nil, fmt.Errorf("shard: dataset %q: %d nodes exceeds the format limit %d", nd.Name, n, maxNodes)
+	}
+	if e := nd.G.NumEdges(); int64(e) > maxEdges {
+		return nil, fmt.Errorf("shard: dataset %q: %d edges exceeds the format limit %d", nd.Name, e, maxEdges)
+	}
+	if nd.X.Cols > maxFeatDim {
+		return nil, fmt.Errorf("shard: dataset %q: feature dim %d exceeds the format limit %d", nd.Name, nd.X.Cols, maxFeatDim)
+	}
+	if uint64(n)*uint64(nd.X.Cols) > maxElems {
+		return nil, fmt.Errorf("shard: dataset %q: %d×%d feature matrix exceeds the format limit of %d elements",
+			nd.Name, n, nd.X.Cols, maxElems)
+	}
 	if shards < 1 || shards > maxShards || shards > n {
 		return nil, fmt.Errorf("shard: shard count %d outside [1, min(%d nodes, %d)]", shards, n, maxShards)
 	}

@@ -4,9 +4,11 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"torchgt/internal/graph"
+	"torchgt/internal/tensor"
 )
 
 // testDataset builds a deterministic synthetic dataset with planted
@@ -319,6 +321,29 @@ func TestWriteValidation(t *testing.T) {
 			t.Fatalf("Write accepted shard count %d for %d nodes", k, ds.G.N)
 		}
 	}
+
+	// Datasets exceeding the read-side manifest bounds are rejected at write
+	// time with a descriptive error — not sharded successfully and then
+	// refused by DecodeManifest at Open. The bounds checks run before any
+	// per-node array validation, so oversized headers need no backing arrays.
+	overLimit := func(name, want string, mutate func(*graph.NodeDataset)) {
+		cp := *ds
+		mutate(&cp)
+		_, err := Write(dir, &cp, 1)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("Write on %s: error %v, want mention of %q", name, err, want)
+		}
+	}
+	overLimit("oversized node count", "nodes exceeds", func(cp *graph.NodeDataset) {
+		cp.G = &graph.Graph{N: maxNodes + 1}
+	})
+	overLimit("oversized feature dim", "feature dim", func(cp *graph.NodeDataset) {
+		cp.X = &tensor.Mat{Rows: cp.G.N, Cols: maxFeatDim + 1}
+	})
+	overLimit("oversized feature matrix", "feature matrix", func(cp *graph.NodeDataset) {
+		cp.G = &graph.Graph{N: 1 << 20}
+		cp.X = &tensor.Mat{Rows: 1 << 20, Cols: 1 << 12}
+	})
 }
 
 // TestCloseIsSticky: accessors after Close fail through the sticky error

@@ -58,6 +58,12 @@ func TestShardProviderOpensStream(t *testing.T) {
 		t.Fatal("materialized dataset has no Node")
 	}
 	nodeEqual(t, ds, md.Node)
+
+	// Materialize releases the stream's file descriptors and mmaps: the old
+	// view is closed (sticky error), only the returned dataset stays live.
+	if d.Stream.SourceErr() == nil {
+		t.Fatal("Materialize left the shard stream open")
+	}
 }
 
 func TestOpenNodeSourceStaysOutOfCore(t *testing.T) {

@@ -58,11 +58,19 @@ func (p *Pipeline) Each(targets []int32, startSerial uint64, fn func(*Context)) 
 		go func() {
 			defer wg.Done()
 			for {
+				// The context MUST be acquired before the index is claimed:
+				// each claimed-but-unsent sample then holds one of the L
+				// pooled contexts, and a context only returns to the pool
+				// after the consumer drains a slot, so sample i+L cannot be
+				// claimed until sample i has been consumed and slot i mod L
+				// is empty. Claiming first would let a descheduled worker be
+				// overtaken by a full lap and deliver out of order.
+				c := <-free
 				i := int(next.Add(1)) - 1
 				if i >= len(targets) {
+					free <- c
 					return
 				}
-				c := <-free
 				p.s.Sample(c, targets[i], startSerial+uint64(i))
 				slots[i%lookahead] <- c
 			}

@@ -2,6 +2,7 @@ package sample
 
 import (
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"torchgt/internal/data/shard"
@@ -110,6 +111,36 @@ func TestPipelineDeterministicAcrossWorkers(t *testing.T) {
 				t.Fatalf("workers=%d: context %d differs from synchronous run", workers, i)
 			}
 		}
+	}
+}
+
+// TestPipelineOrderUnderContention stresses the delivery-order invariant
+// with far more workers than runnable threads, so workers are routinely
+// descheduled between claiming a sample and sending it. A pipeline that
+// claimed the index before acquiring a pooled context could be lapped here
+// (another worker wrapping the slot ring while one claim is stalled) and
+// deliver a later sample in an earlier position.
+func TestPipelineOrderUnderContention(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	ds, src := testSource(t)
+	targets := make([]int32, 20000)
+	for i := range targets {
+		targets[i] = int32((i * 13) % ds.G.N)
+	}
+	s := New(src, Config{Hops: 1, MaxSize: 8, Seed: 5, Workers: 16})
+	i := 0
+	err := NewPipeline(s).Each(targets, 7, func(c *Context) {
+		if c.Target != targets[i] || c.Serial != 7+uint64(i) {
+			t.Fatalf("position %d: got target %d serial %d, want %d/%d",
+				i, c.Target, c.Serial, targets[i], 7+uint64(i))
+		}
+		i++
+	})
+	if err != nil {
+		t.Fatalf("Each: %v", err)
+	}
+	if i != len(targets) {
+		t.Fatalf("delivered %d samples, want %d", i, len(targets))
 	}
 }
 
